@@ -1,0 +1,228 @@
+// Package cluster models the data-center fabric the paper measures: a
+// set of racks, machines behind top-of-rack (TOR) switches joined by an
+// aggregation switch (Fig. 1), rack-aware block placement (the 14 blocks
+// of a stripe go to 14 distinct racks), byte accounting for every
+// transfer, and the §3.2 recovery-time model in which repair time is
+// governed by bytes moved, not by the number of helpers contacted.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Topology describes a uniform cluster: Racks racks with
+// MachinesPerRack machines each. Machine ids are dense in
+// [0, Racks*MachinesPerRack), rack-major.
+type Topology struct {
+	Racks           int
+	MachinesPerRack int
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Racks <= 0 || t.MachinesPerRack <= 0 {
+		return fmt.Errorf("cluster: invalid topology %d racks x %d machines", t.Racks, t.MachinesPerRack)
+	}
+	return nil
+}
+
+// Machines returns the total machine count.
+func (t Topology) Machines() int { return t.Racks * t.MachinesPerRack }
+
+// RackOf returns the rack hosting the machine.
+func (t Topology) RackOf(machine int) int {
+	if machine < 0 || machine >= t.Machines() {
+		panic(fmt.Sprintf("cluster: machine %d out of range [0, %d)", machine, t.Machines()))
+	}
+	return machine / t.MachinesPerRack
+}
+
+// ErrNotEnoughRacks is returned when a placement needs more distinct
+// racks than the topology has.
+var ErrNotEnoughRacks = errors.New("cluster: not enough racks for placement")
+
+// PlaceStripe selects n machines on n distinct racks, uniformly at
+// random — the placement policy of §2.1 ("these machines are chosen from
+// different racks").
+func PlaceStripe(rng *rand.Rand, t Topology, n int) ([]int, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n > t.Racks {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnoughRacks, n, t.Racks)
+	}
+	racks := rng.Perm(t.Racks)[:n]
+	machines := make([]int, n)
+	for i, rack := range racks {
+		machines[i] = rack*t.MachinesPerRack + rng.Intn(t.MachinesPerRack)
+	}
+	return machines, nil
+}
+
+// PickReplacement selects a machine whose rack is not in the excluded
+// set — where a reconstructed block gets written so the stripe keeps its
+// one-block-per-rack property.
+func PickReplacement(rng *rand.Rand, t Topology, excludeRacks map[int]bool) (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	free := make([]int, 0, t.Racks)
+	for rack := 0; rack < t.Racks; rack++ {
+		if !excludeRacks[rack] {
+			free = append(free, rack)
+		}
+	}
+	if len(free) == 0 {
+		return 0, fmt.Errorf("%w: all %d racks excluded", ErrNotEnoughRacks, t.Racks)
+	}
+	rack := free[rng.Intn(len(free))]
+	return rack*t.MachinesPerRack + rng.Intn(t.MachinesPerRack), nil
+}
+
+// Network accounts bytes through the cluster fabric. Transfers between
+// machines on the same rack stay below the TOR switch; transfers between
+// racks traverse both TOR switches and the aggregation switch — the
+// "precious cross-rack bandwidth" whose consumption the paper measures.
+// Network is safe for concurrent use.
+type Network struct {
+	topo Topology
+
+	mu        sync.Mutex
+	torUp     []int64 // bytes leaving each rack through its TOR switch
+	torDown   []int64 // bytes entering each rack through its TOR switch
+	agg       int64   // bytes through the aggregation switch
+	intraRack int64   // bytes that never left a rack
+	crossRack int64   // bytes that crossed racks
+	transfers int64   // number of Transfer calls
+}
+
+// NewNetwork builds a zeroed accounting fabric for the topology.
+func NewNetwork(t Topology) (*Network, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		topo:    t,
+		torUp:   make([]int64, t.Racks),
+		torDown: make([]int64, t.Racks),
+	}, nil
+}
+
+// Topology returns the fabric's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Transfer accounts a transfer of b bytes from machine src to machine
+// dst. Negative sizes are rejected; zero-byte transfers count as
+// transfers but move nothing.
+func (n *Network) Transfer(src, dst int, b int64) error {
+	if b < 0 {
+		return fmt.Errorf("cluster: negative transfer %d", b)
+	}
+	srcRack := n.topo.RackOf(src)
+	dstRack := n.topo.RackOf(dst)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.transfers++
+	if srcRack == dstRack {
+		n.intraRack += b
+		return nil
+	}
+	n.torUp[srcRack] += b
+	n.torDown[dstRack] += b
+	n.agg += b
+	n.crossRack += b
+	return nil
+}
+
+// Snapshot is a point-in-time copy of the fabric counters.
+type Snapshot struct {
+	CrossRackBytes   int64
+	IntraRackBytes   int64
+	AggregationBytes int64
+	Transfers        int64
+	TORUp            []int64
+	TORDown          []int64
+}
+
+// Snapshot returns a copy of all counters.
+func (n *Network) Snapshot() Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Snapshot{
+		CrossRackBytes:   n.crossRack,
+		IntraRackBytes:   n.intraRack,
+		AggregationBytes: n.agg,
+		Transfers:        n.transfers,
+		TORUp:            append([]int64(nil), n.torUp...),
+		TORDown:          append([]int64(nil), n.torDown...),
+	}
+}
+
+// CrossRackBytes returns the cross-rack byte counter.
+func (n *Network) CrossRackBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crossRack
+}
+
+// Reset zeroes all counters.
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.torUp {
+		n.torUp[i] = 0
+		n.torDown[i] = 0
+	}
+	n.agg = 0
+	n.intraRack = 0
+	n.crossRack = 0
+	n.transfers = 0
+}
+
+// BandwidthModel is the §3.2 recovery-time model. The paper's
+// preliminary experiments found that "connecting to more nodes does not
+// affect the recovery time": at multi-megabyte block sizes, recovery is
+// limited by disk and network bandwidth, so time depends only on bytes
+// read and moved. The model captures that: helpers read their ranges in
+// parallel (disk-bound term = largest per-helper read), the destination
+// ingests the total download through its NIC (network-bound term), and
+// connection setup is a small constant independent of helper count.
+type BandwidthModel struct {
+	// DiskBytesPerSec is a helper's sequential read bandwidth.
+	DiskBytesPerSec float64
+	// NetBytesPerSec is the destination NIC ingest bandwidth.
+	NetBytesPerSec float64
+	// ConnectionSetup is the fixed cost of establishing the transfer
+	// fan-in (parallel across helpers, hence constant).
+	ConnectionSetup time.Duration
+}
+
+// DefaultBandwidthModel returns a model typical of the 2013 hardware the
+// paper ran on: ~100 MB/s disks, 1 GbE NICs.
+func DefaultBandwidthModel() BandwidthModel {
+	return BandwidthModel{
+		DiskBytesPerSec: 100e6,
+		NetBytesPerSec:  125e6,
+		ConnectionSetup: 20 * time.Millisecond,
+	}
+}
+
+// RecoveryTime estimates the wall-clock time to execute a repair that
+// reads maxPerSource bytes from its busiest helper and downloads
+// totalBytes in aggregate.
+func (m BandwidthModel) RecoveryTime(totalBytes, maxPerSource int64) time.Duration {
+	if totalBytes < 0 || maxPerSource < 0 {
+		return 0
+	}
+	disk := float64(maxPerSource) / m.DiskBytesPerSec
+	net := float64(totalBytes) / m.NetBytesPerSec
+	slow := disk
+	if net > slow {
+		slow = net
+	}
+	return m.ConnectionSetup + time.Duration(slow*float64(time.Second))
+}

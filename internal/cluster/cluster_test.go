@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTopology(t *testing.T) {
+	topo := Topology{Racks: 5, MachinesPerRack: 4}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Machines() != 20 {
+		t.Fatalf("Machines = %d, want 20", topo.Machines())
+	}
+	if topo.RackOf(0) != 0 || topo.RackOf(3) != 0 || topo.RackOf(4) != 1 || topo.RackOf(19) != 4 {
+		t.Fatal("RackOf wrong")
+	}
+	if err := (Topology{Racks: 0, MachinesPerRack: 1}).Validate(); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestRackOfPanicsOutOfRange(t *testing.T) {
+	topo := Topology{Racks: 2, MachinesPerRack: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RackOf out of range did not panic")
+		}
+	}()
+	topo.RackOf(4)
+}
+
+func TestPlaceStripeDistinctRacks(t *testing.T) {
+	topo := Topology{Racks: 20, MachinesPerRack: 150} // 3000 machines
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		machines, err := PlaceStripe(rng, topo, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(machines) != 14 {
+			t.Fatalf("placed %d machines, want 14", len(machines))
+		}
+		racks := make(map[int]bool)
+		for _, m := range machines {
+			racks[topo.RackOf(m)] = true
+		}
+		if len(racks) != 14 {
+			t.Fatalf("stripe spans %d racks, want 14 distinct (§2.1 placement)", len(racks))
+		}
+	}
+}
+
+func TestPlaceStripeTooWide(t *testing.T) {
+	topo := Topology{Racks: 5, MachinesPerRack: 10}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := PlaceStripe(rng, topo, 6); !errors.Is(err, ErrNotEnoughRacks) {
+		t.Fatalf("expected ErrNotEnoughRacks, got %v", err)
+	}
+}
+
+func TestPickReplacement(t *testing.T) {
+	topo := Topology{Racks: 4, MachinesPerRack: 3}
+	rng := rand.New(rand.NewSource(3))
+	exclude := map[int]bool{0: true, 1: true, 2: true}
+	for trial := 0; trial < 50; trial++ {
+		m, err := PickReplacement(rng, topo, exclude)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.RackOf(m) != 3 {
+			t.Fatalf("replacement on rack %d, want 3", topo.RackOf(m))
+		}
+	}
+	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if _, err := PickReplacement(rng, topo, all); !errors.Is(err, ErrNotEnoughRacks) {
+		t.Fatalf("expected ErrNotEnoughRacks, got %v", err)
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	topo := Topology{Racks: 3, MachinesPerRack: 2}
+	net, err := NewNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same rack: machines 0 and 1.
+	if err := net.Transfer(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Cross rack: machine 0 (rack 0) to machine 2 (rack 1).
+	if err := net.Transfer(0, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Cross rack: machine 5 (rack 2) to machine 0 (rack 0).
+	if err := net.Transfer(5, 0, 25); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Snapshot()
+	if s.IntraRackBytes != 100 {
+		t.Fatalf("intra = %d, want 100", s.IntraRackBytes)
+	}
+	if s.CrossRackBytes != 75 {
+		t.Fatalf("cross = %d, want 75", s.CrossRackBytes)
+	}
+	if s.AggregationBytes != 75 {
+		t.Fatalf("agg = %d, want 75: every cross-rack byte crosses the AS (Fig. 1)", s.AggregationBytes)
+	}
+	if s.TORUp[0] != 50 || s.TORDown[1] != 50 || s.TORUp[2] != 25 || s.TORDown[0] != 25 {
+		t.Fatalf("TOR counters wrong: %+v", s)
+	}
+	if s.Transfers != 3 {
+		t.Fatalf("transfers = %d, want 3", s.Transfers)
+	}
+	if net.CrossRackBytes() != 75 {
+		t.Fatal("CrossRackBytes accessor wrong")
+	}
+}
+
+func TestNetworkRejectsNegative(t *testing.T) {
+	net, _ := NewNetwork(Topology{Racks: 2, MachinesPerRack: 1})
+	if err := net.Transfer(0, 1, -1); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	net, _ := NewNetwork(Topology{Racks: 2, MachinesPerRack: 1})
+	if err := net.Transfer(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	net.Reset()
+	s := net.Snapshot()
+	if s.CrossRackBytes != 0 || s.Transfers != 0 || s.TORUp[0] != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestNetworkConcurrentTransfers(t *testing.T) {
+	topo := Topology{Racks: 4, MachinesPerRack: 2}
+	net, _ := NewNetwork(topo)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				src := rng.Intn(topo.Machines())
+				dst := rng.Intn(topo.Machines())
+				_ = net.Transfer(src, dst, 1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := net.Snapshot()
+	if s.Transfers != 16000 {
+		t.Fatalf("transfers = %d, want 16000", s.Transfers)
+	}
+	if s.CrossRackBytes+s.IntraRackBytes != 16000 {
+		t.Fatalf("bytes accounted %d, want 16000", s.CrossRackBytes+s.IntraRackBytes)
+	}
+}
+
+func TestNewNetworkValidates(t *testing.T) {
+	if _, err := NewNetwork(Topology{}); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestFig1EndToEnd(t *testing.T) {
+	// Fig. 1 replayed over the network model: a (2,2) stripe on four
+	// racks loses a1; the two helper units flow through their TOR
+	// switches and the aggregation switch to the recovery node.
+	topo := Topology{Racks: 4, MachinesPerRack: 1}
+	net, err := NewNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0..3 hold a1, a2, a1+a2, a1+2a2. Node 0 fails; a fresh
+	// copy is rebuilt at node 0's rack from nodes 1 and 2 (one unit
+	// each, as in the figure).
+	const unit = 1
+	if err := net.Transfer(1, 0, unit); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Transfer(2, 0, unit); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Snapshot()
+	if s.CrossRackBytes != 2*unit {
+		t.Fatalf("cross-rack units %d, want 2 (Fig. 1)", s.CrossRackBytes)
+	}
+	if s.AggregationBytes != 2*unit {
+		t.Fatalf("aggregation-switch units %d, want 2", s.AggregationBytes)
+	}
+	if s.TORDown[0] != 2*unit || s.TORUp[1] != unit || s.TORUp[2] != unit {
+		t.Fatalf("TOR flows wrong: %+v", s)
+	}
+}
+
+func TestRecoveryTimeNetworkBound(t *testing.T) {
+	// §3.2 at 256 MB blocks: RS(10,4) downloads 10 blocks through one
+	// NIC; the piggybacked code downloads ~7 block-equivalents from more
+	// helpers. Both are network-bound, so the piggybacked repair is
+	// ~30% faster despite contacting more nodes.
+	m := DefaultBandwidthModel()
+	const block = int64(256 << 20)
+	rsTime := m.RecoveryTime(10*block, block)
+	pbTime := m.RecoveryTime(7*block, block)
+	if pbTime >= rsTime {
+		t.Fatalf("piggybacked repair (%v) not faster than RS (%v)", pbTime, rsTime)
+	}
+	ratio := float64(pbTime) / float64(rsTime)
+	if ratio < 0.60 || ratio > 0.80 {
+		t.Fatalf("repair-time ratio %.3f, want ~0.70 (30%% fewer bytes, network-bound)", ratio)
+	}
+}
+
+func TestRecoveryTimeDiskBoundWhenNetworkFast(t *testing.T) {
+	m := BandwidthModel{DiskBytesPerSec: 10e6, NetBytesPerSec: 1e12, ConnectionSetup: 0}
+	// Network is effectively free: time is the largest per-helper read.
+	got := m.RecoveryTime(100e6, 50e6)
+	want := time.Duration(50e6 / 10e6 * float64(time.Second))
+	if got != want {
+		t.Fatalf("disk-bound time %v, want %v", got, want)
+	}
+}
+
+func TestRecoveryTimeSetupIndependentOfSources(t *testing.T) {
+	// The model encodes the paper's observation: helper count does not
+	// appear — only bytes do.
+	m := DefaultBandwidthModel()
+	a := m.RecoveryTime(1000, 100)
+	b := m.RecoveryTime(1000, 100)
+	if a != b {
+		t.Fatal("model must be deterministic")
+	}
+	if m.RecoveryTime(-1, 5) != 0 {
+		t.Fatal("negative bytes must yield 0")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+// TestLargeParameterCodes runs the piggybacked construction near the
+// field boundary.
+func TestLargeParameterCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-parameter construction")
+	}
+	for _, p := range []struct{ k, r int }{{100, 20}, {50, 50}, {2, 254}} {
+		c, err := New(p.k, p.r)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", p.k, p.r, err)
+		}
+		rng := rand.New(rand.NewSource(int64(p.k)))
+		shards := randShards(rng, p.k, p.r, 8)
+		if err := c.Encode(shards); err != nil {
+			t.Fatalf("(%d,%d) encode: %v", p.k, p.r, err)
+		}
+		ok, err := c.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("(%d,%d) verify failed: (%v, %v)", p.k, p.r, ok, err)
+		}
+		// Repair one covered data shard and one parity shard.
+		for _, idx := range []int{0, p.k + 1} {
+			got, err := c.ExecuteRepair(idx, 8, ec.AllAliveExcept(idx), memFetch(shards))
+			if err != nil {
+				t.Fatalf("(%d,%d) repair %d: %v", p.k, p.r, idx, err)
+			}
+			if !bytes.Equal(got, shards[idx]) {
+				t.Fatalf("(%d,%d) repair %d wrong", p.k, p.r, idx)
+			}
+		}
+	}
+}
+
+// TestMinimumShardSize runs the codec at its two-byte minimum: one byte
+// per substripe, the exact geometry of the paper's Fig. 4.
+func TestMinimumShardSize(t *testing.T) {
+	c, _ := New(10, 4)
+	shards := make([][]byte, 14)
+	for i := 0; i < 10; i++ {
+		shards[i] = []byte{byte(i), byte(255 - i)}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	work := cloneShards(shards)
+	for _, e := range []int{2, 7, 11, 12} {
+		work[e] = nil
+	}
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(work[i], shards[i]) {
+			t.Fatalf("shard %d mismatch at minimum size", i)
+		}
+	}
+	plan, err := c.PlanRepair(0, 2, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != 14 { // (k+s)=14 one-byte halves
+		t.Fatalf("minimum-size repair downloads %d, want 14", plan.TotalBytes())
+	}
+}
+
+// TestGroupOfFullCoverageInvariant checks that the default grouping for
+// r >= 3 covers every data shard exactly once, across a parameter sweep.
+func TestGroupOfFullCoverageInvariant(t *testing.T) {
+	for k := 2; k <= 20; k++ {
+		for r := 3; r <= 6; r++ {
+			groups := DefaultGroups(k, r)
+			seen := make(map[int]int)
+			for _, g := range groups {
+				for _, m := range g {
+					seen[m]++
+				}
+			}
+			if len(seen) != k {
+				t.Fatalf("(%d,%d): %d shards covered, want %d", k, r, len(seen), k)
+			}
+			for m, n := range seen {
+				if n != 1 {
+					t.Fatalf("(%d,%d): shard %d covered %d times", k, r, m, n)
+				}
+			}
+			// Group sizes differ by at most one (the savings-optimal
+			// balanced partition).
+			min, max := k, 0
+			for _, g := range groups {
+				if len(g) < min {
+					min = len(g)
+				}
+				if len(g) > max {
+					max = len(g)
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("(%d,%d): unbalanced groups %v", k, r, groups)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/gf256"
+	"repro/internal/rs"
+)
+
+// TestSubstripeStructure verifies the construction against its
+// definition: the a-halves form a clean RS codeword; the b-halves form
+// an RS codeword after subtracting the piggybacks; and each piggyback
+// equals the XOR of its group's a-symbols.
+func TestSubstripeStructure(t *testing.T) {
+	k, r := 10, 4
+	c, err := New(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsc, err := rs.New(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	shards := randShards(rng, k, r, 128)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	const half = 64
+
+	aView := make([][]byte, k+r)
+	bView := make([][]byte, k+r)
+	for i, s := range shards {
+		aView[i] = s[:half]
+		bView[i] = s[half:]
+	}
+
+	// (1) a-substripe is plain RS.
+	ok, err := rsc.Verify(aView)
+	if err != nil || !ok {
+		t.Fatalf("a-substripe is not a clean RS codeword: (%v, %v)", ok, err)
+	}
+
+	// (2) parity 1's b-half is plain RS (never piggybacked).
+	want := make([]byte, half)
+	if err := rsc.EncodeParityInto(bView[:k], 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bView[k], want) {
+		t.Fatal("parity 1 b-half carries a piggyback; it must stay clean")
+	}
+
+	// (3) each piggybacked parity's b-half = RS parity + group XOR.
+	for g, group := range c.Groups() {
+		if err := rsc.EncodeParityInto(bView[:k], 1+g, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range group {
+			gf256.XorSlice(aView[m], want)
+		}
+		if !bytes.Equal(bView[k+1+g], want) {
+			t.Fatalf("parity %d b-half != RS parity + piggyback of group %d", k+1+g, g)
+		}
+	}
+}
+
+// TestCheapRepairEqualsFullDecode cross-checks the two repair paths:
+// for every data shard, the piggyback path and a full reconstruct must
+// produce identical bytes.
+func TestCheapRepairEqualsFullDecode(t *testing.T) {
+	c, _ := New(10, 4)
+	rng := rand.New(rand.NewSource(4))
+	orig := randShards(rng, 10, 4, 256)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 10; idx++ {
+		cheap, err := c.ExecuteRepair(idx, 256, ec.AllAliveExcept(idx), memFetch(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := cloneShards(orig)
+		work[idx] = nil
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cheap, work[idx]) {
+			t.Fatalf("shard %d: cheap repair and full decode disagree", idx)
+		}
+	}
+}
+
+// TestPiggybackEncodeDeterministic pins encode determinism: identical
+// inputs yield identical stripes across codec instances.
+func TestPiggybackEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randShards(rng, 10, 4, 64)
+	c1, _ := New(10, 4)
+	c2, _ := New(10, 4)
+	s1 := cloneShards(data)
+	s2 := cloneShards(data)
+	if err := c1.Encode(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Encode(s2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if !bytes.Equal(s1[i], s2[i]) {
+			t.Fatalf("shard %d differs across instances", i)
+		}
+	}
+}
+
+// TestRepairPlansAreMinimal asserts no plan reads a byte range twice.
+func TestRepairPlansAreMinimal(t *testing.T) {
+	c, _ := New(10, 4)
+	for idx := 0; idx < 14; idx++ {
+		plan, err := c.PlanRepair(idx, 64, ec.AllAliveExcept(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type span struct {
+			shard    int
+			off, len int64
+		}
+		seen := make(map[span]bool)
+		for _, r := range plan.Reads {
+			s := span{r.Shard, r.Offset, r.Length}
+			if seen[s] {
+				t.Fatalf("shard %d plan reads %+v twice", idx, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func FuzzPiggybackRoundTrip(f *testing.F) {
+	f.Add([]byte("piggyback fuzz seed"), uint16(0x0421))
+	f.Add(bytes.Repeat([]byte{0xA5}, 64), uint16(0xFFFF))
+	f.Add([]byte{1, 2}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, eraseMask uint16) {
+		if len(data) == 0 {
+			return
+		}
+		c, err := New(4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := (len(data) + 3) / 4
+		if per%2 != 0 {
+			per++
+		}
+		shards := make([][]byte, 6)
+		for i := 0; i < 4; i++ {
+			shards[i] = make([]byte, per)
+			lo := i * per
+			if lo < len(data) {
+				hi := lo + per
+				if hi > len(data) {
+					hi = len(data)
+				}
+				copy(shards[i], data[lo:hi])
+			}
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		orig := cloneShards(shards)
+		erased := 0
+		for i := 0; i < 6 && erased < 2; i++ {
+			if eraseMask&(1<<i) != 0 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d mismatch after erasing %d shards", i, erased)
+			}
+		}
+	})
+}

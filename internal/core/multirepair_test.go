@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestMultiRepairSingleUsesCheapPath(t *testing.T) {
+	c, _ := New(10, 4)
+	plan, err := c.PlanMultiRepair([]int{0}, 1024, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := c.PlanRepair(0, 1024, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != single.TotalBytes() {
+		t.Fatalf("single-shard multi plan costs %d, single plan %d", plan.TotalBytes(), single.TotalBytes())
+	}
+}
+
+func TestMultiRepairJointCheaperThanRepeatedSingles(t *testing.T) {
+	// §2.2 doubles: one joint decode (k shards) beats two separate
+	// repairs; for the piggybacked code two cheap singles would cost
+	// 2 x 0.7k, a joint decode costs exactly k.
+	c, _ := New(10, 4)
+	const size = 1 << 20
+	plan, err := c.PlanMultiRepair([]int{0, 7}, size, ec.AllAliveExcept(0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != 10*size {
+		t.Fatalf("joint repair of 2 shards costs %d, want %d (one full decode)", plan.TotalBytes(), 10*size)
+	}
+	// Note: two sequential piggybacked repairs would each need the
+	// fallback path anyway (a fellow data shard is dead), so the joint
+	// plan halves the traffic versus 2 x 10 shards.
+}
+
+func TestExecuteMultiRepairAllPairs(t *testing.T) {
+	c, _ := New(6, 3)
+	rng := rand.New(rand.NewSource(1))
+	orig := randShards(rng, 6, 3, 128)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			got, err := c.ExecuteMultiRepair([]int{i, j}, 128, ec.AllAliveExcept(i, j), memFetch(orig))
+			if err != nil {
+				t.Fatalf("pair (%d,%d): %v", i, j, err)
+			}
+			if len(got) != 2 {
+				t.Fatalf("pair (%d,%d): got %d shards", i, j, len(got))
+			}
+			if !bytes.Equal(got[i], orig[i]) || !bytes.Equal(got[j], orig[j]) {
+				t.Fatalf("pair (%d,%d): wrong bytes", i, j)
+			}
+		}
+	}
+}
+
+func TestExecuteMultiRepairMaxErasures(t *testing.T) {
+	c, _ := New(10, 4)
+	rng := rand.New(rand.NewSource(2))
+	orig := randShards(rng, 10, 4, 64)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	missing := []int{1, 6, 10, 13}
+	got, err := c.ExecuteMultiRepair(missing, 64, ec.AllAliveExcept(missing...), memFetch(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		if !bytes.Equal(got[m], orig[m]) {
+			t.Fatalf("shard %d wrong after 4-way joint repair", m)
+		}
+	}
+}
+
+func TestMultiRepairValidation(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.PlanMultiRepair(nil, 8, ec.AllAliveExcept()); !errors.Is(err, ec.ErrShardIndex) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := c.PlanMultiRepair([]int{0, 0}, 8, ec.AllAliveExcept(0)); !errors.Is(err, ec.ErrShardIndex) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := c.PlanMultiRepair([]int{0, 1}, 7, ec.AllAliveExcept(0, 1)); !errors.Is(err, ec.ErrShardSize) {
+		t.Fatalf("odd size: %v", err)
+	}
+	if _, err := c.PlanMultiRepair([]int{0, 1, 2}, 8, ec.AllAliveExcept(0, 1, 2)); !errors.Is(err, ec.ErrTooFewShards) {
+		t.Fatalf("beyond tolerance: %v", err)
+	}
+	if _, err := c.ExecuteMultiRepair([]int{5, 5}, 8, ec.AllAliveExcept(5), memFetch(nil)); !errors.Is(err, ec.ErrShardIndex) {
+		t.Fatalf("execute duplicate: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package ec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRepairPlanAccounting(t *testing.T) {
+	p := &RepairPlan{
+		Shard:     0,
+		ShardSize: 100,
+		Reads: []ReadRequest{
+			{Shard: 1, Offset: 0, Length: 50},
+			{Shard: 1, Offset: 50, Length: 50},
+			{Shard: 2, Offset: 50, Length: 50},
+			{Shard: 3, Offset: 0, Length: 25},
+		},
+	}
+	if got := p.TotalBytes(); got != 175 {
+		t.Fatalf("TotalBytes = %d, want 175", got)
+	}
+	if got := p.Sources(); got != 3 {
+		t.Fatalf("Sources = %d, want 3", got)
+	}
+	if got := p.MaxPerSource(); got != 100 {
+		t.Fatalf("MaxPerSource = %d, want 100", got)
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p := &RepairPlan{Shard: 1, ShardSize: 10}
+	if p.TotalBytes() != 0 || p.Sources() != 0 || p.MaxPerSource() != 0 {
+		t.Fatal("empty plan must account to zeros")
+	}
+}
+
+func TestAllAliveExcept(t *testing.T) {
+	alive := AllAliveExcept(2, 5)
+	for i := 0; i < 8; i++ {
+		want := i != 2 && i != 5
+		if alive(i) != want {
+			t.Fatalf("alive(%d) = %v, want %v", i, alive(i), want)
+		}
+	}
+	all := AllAliveExcept()
+	if !all(0) || !all(100) {
+		t.Fatal("AllAliveExcept() must report everything alive")
+	}
+}
+
+func TestCheckShards(t *testing.T) {
+	shards := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	size, err := CheckShards(shards, 3, false)
+	if err != nil || size != 2 {
+		t.Fatalf("CheckShards = (%d, %v), want (2, nil)", size, err)
+	}
+
+	if _, err := CheckShards(shards, 4, false); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("count mismatch: got %v", err)
+	}
+
+	withNil := [][]byte{{1, 2}, nil, {5, 6}}
+	if _, err := CheckShards(withNil, 3, false); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("nil disallowed: got %v", err)
+	}
+	size, err = CheckShards(withNil, 3, true)
+	if err != nil || size != 2 {
+		t.Fatalf("nil allowed: got (%d, %v)", size, err)
+	}
+
+	ragged := [][]byte{{1, 2}, {3}}
+	if _, err := CheckShards(ragged, 2, true); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ragged: got %v", err)
+	}
+
+	empty := [][]byte{{}}
+	if _, err := CheckShards(empty, 1, true); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("empty shard: got %v", err)
+	}
+
+	allNil := make([][]byte, 3)
+	if _, err := CheckShards(allNil, 3, true); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("all nil: got %v", err)
+	}
+}
+
+func TestCountPresentAndMissing(t *testing.T) {
+	shards := [][]byte{{1}, nil, {2}, nil, nil}
+	if got := CountPresent(shards); got != 2 {
+		t.Fatalf("CountPresent = %d, want 2", got)
+	}
+	missing := MissingIndices(shards)
+	want := []int{1, 3, 4}
+	if len(missing) != len(want) {
+		t.Fatalf("MissingIndices = %v, want %v", missing, want)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("MissingIndices = %v, want %v", missing, want)
+		}
+	}
+}

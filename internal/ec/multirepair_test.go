@@ -1,0 +1,28 @@
+package ec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckMissing(t *testing.T) {
+	alive := AllAliveExcept(1, 3, 5)
+	if err := CheckMissing([]int{1, 3}, 8, alive); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMissing(nil, 8, alive); !errors.Is(err, ErrShardIndex) {
+		t.Fatalf("empty list: %v", err)
+	}
+	if err := CheckMissing([]int{9}, 8, alive); !errors.Is(err, ErrShardIndex) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if err := CheckMissing([]int{-1}, 8, alive); !errors.Is(err, ErrShardIndex) {
+		t.Fatalf("negative: %v", err)
+	}
+	if err := CheckMissing([]int{1, 1}, 8, alive); !errors.Is(err, ErrShardIndex) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := CheckMissing([]int{2}, 8, alive); !errors.Is(err, ErrShardPresent) {
+		t.Fatalf("alive shard: %v", err)
+	}
+}

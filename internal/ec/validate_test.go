@@ -1,0 +1,104 @@
+package ec_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+func TestValidatePlanUnit(t *testing.T) {
+	alive := ec.AllAliveExcept(0)
+	good := &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 1, Offset: 0, Length: 100}}}
+	if err := ec.ValidatePlan(good, 6, alive); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plan *ec.RepairPlan
+	}{
+		{"nil", nil},
+		{"target out of range", &ec.RepairPlan{Shard: 9, ShardSize: 100}},
+		{"bad shard size", &ec.RepairPlan{Shard: 0, ShardSize: 0}},
+		{"read out of range", &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 9, Length: 1}}}},
+		{"reads target", &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 0, Length: 1}}}},
+		{"zero length", &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 1, Length: 0}}}},
+		{"overflow", &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 1, Offset: 90, Length: 20}}}},
+		{"duplicate", &ec.RepairPlan{Shard: 0, ShardSize: 100, Reads: []ec.ReadRequest{
+			{Shard: 1, Offset: 0, Length: 10}, {Shard: 1, Offset: 0, Length: 10}}}},
+	}
+	for _, c := range cases {
+		if err := ec.ValidatePlan(c.plan, 6, alive); err == nil {
+			t.Errorf("%s: invalid plan accepted", c.name)
+		}
+	}
+	// Reads of a dead shard are rejected.
+	dead := &ec.RepairPlan{Shard: 1, ShardSize: 100, Reads: []ec.ReadRequest{{Shard: 0, Offset: 0, Length: 1}}}
+	if err := ec.ValidatePlan(dead, 6, ec.AllAliveExcept(0, 1)); err == nil {
+		t.Error("plan reading a dead shard accepted")
+	}
+}
+
+// TestAllCodecPlansAreValid sweeps every codec's single and joint plans
+// across random failure patterns through the structural validator.
+func TestAllCodecPlansAreValid(t *testing.T) {
+	rsc, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := core.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := lrc.New(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []ec.Code{rsc, pb, lc} {
+		rng := rand.New(rand.NewSource(42))
+		total := code.TotalShards()
+		for trial := 0; trial < 300; trial++ {
+			m := 1 + rng.Intn(code.ParityShards())
+			if m > 4 {
+				m = 4
+			}
+			missing := rng.Perm(total)[:m]
+			alive := ec.AllAliveExcept(missing...)
+
+			plan, err := code.PlanRepair(missing[0], 4096, alive)
+			if err != nil {
+				if errors.Is(err, ec.ErrTooFewShards) {
+					continue
+				}
+				t.Fatalf("%s: single plan: %v", code.Name(), err)
+			}
+			if err := ec.ValidatePlan(plan, total, alive); err != nil {
+				t.Fatalf("%s: single plan invalid with %v down: %v", code.Name(), missing, err)
+			}
+
+			multi, err := code.PlanMultiRepair(missing, 4096, alive)
+			if err != nil {
+				if errors.Is(err, ec.ErrTooFewShards) {
+					continue
+				}
+				t.Fatalf("%s: multi plan: %v", code.Name(), err)
+			}
+			// The multi plan must avoid every missing shard, not only
+			// its nominal target.
+			for _, r := range multi.Reads {
+				for _, miss := range missing {
+					if r.Shard == miss {
+						t.Fatalf("%s: multi plan reads missing shard %d", code.Name(), miss)
+					}
+				}
+			}
+			if err := ec.ValidatePlan(multi, total, alive); err != nil {
+				t.Fatalf("%s: multi plan invalid with %v down: %v", code.Name(), missing, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for
+// Reed-Solomon codes in storage systems. The generator element is 2.
+//
+// Addition and subtraction in GF(2^8) are both XOR. Multiplication and
+// division are implemented with log/exp tables built at package
+// initialisation; a full 256x256 product table backs the bulk slice
+// operations used by the codecs.
+package gf256
+
+import "fmt"
+
+// Polynomial is the primitive polynomial used to construct the field,
+// with the x^8 term dropped (the field reduction is modulo this value).
+const Polynomial = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// generator is the primitive element whose powers enumerate all non-zero
+// field elements.
+const generator = 2
+
+var (
+	// expTable[i] = generator^i. Doubled in length so products of logs
+	// (up to 2*254) index without a modulo reduction.
+	expTable [510]byte
+
+	// logTable[x] = log_generator(x) for x != 0. logTable[0] is unused
+	// and kept at 0; callers must special-case zero.
+	logTable [256]int16
+
+	// mulTable[a][b] = a*b in the field. 64 KiB; the price is paid once
+	// and every bulk operation becomes a single indexed load per byte.
+	mulTable [256][256]byte
+
+	// invTable[x] = x^-1 for x != 0.
+	invTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = int16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	// Extend the exp table so expTable[logA+logB] never wraps.
+	for i := 255; i < 510; i++ {
+		expTable[i] = expTable[i-255]
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			mulTable[a][b] = mulSlow(byte(a), byte(b))
+		}
+	}
+	for x := 1; x < 256; x++ {
+		invTable[x] = expTable[255-int(logTable[x])]
+	}
+}
+
+// mulSlow multiplies two field elements using the log/exp tables. It is
+// used only to populate mulTable during initialisation.
+func mulSlow(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8). Subtraction equals addition (characteristic 2).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8). It panics if b is zero, mirroring integer
+// division; callers validate operands at construction time.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	logDiff := int(logTable[a]) - int(logTable[b])
+	if logDiff < 0 {
+		logDiff += 255
+	}
+	return expTable[logDiff]
+}
+
+// Inv returns the multiplicative inverse of x. It panics if x is zero.
+func Inv(x byte) byte {
+	if x == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return invTable[x]
+}
+
+// Exp returns generator^n for n >= 0.
+func Exp(n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+	}
+	return expTable[n%255]
+}
+
+// Pow returns x^n for n >= 0, with 0^0 == 1.
+func Pow(x byte, n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+	}
+	if n == 0 {
+		return 1
+	}
+	if x == 0 {
+		return 0
+	}
+	logX := int(logTable[x])
+	return expTable[(logX*n)%255]
+}
+
+// Log returns log_generator(x). It panics if x is zero.
+func Log(x byte) int {
+	if x == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[x])
+}
+
+// MulSlice sets out[i] = c * in[i] for every i. The two slices must have
+// equal length. c == 0 zeroes out; c == 1 copies.
+func MulSlice(c byte, in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range out {
+			out[i] = 0
+		}
+	case 1:
+		copy(out, in)
+	default:
+		mt := &mulTable[c]
+		for i, v := range in {
+			out[i] = mt[v]
+		}
+	}
+}
+
+// MulSliceXor sets out[i] ^= c * in[i] for every i: a multiply-accumulate
+// in the field. The two slices must have equal length.
+func MulSliceXor(c byte, in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: MulSliceXor length mismatch")
+	}
+	switch c {
+	case 0:
+		// Adding zero is a no-op.
+	case 1:
+		for i, v := range in {
+			out[i] ^= v
+		}
+	default:
+		mt := &mulTable[c]
+		for i, v := range in {
+			out[i] ^= mt[v]
+		}
+	}
+}
+
+// XorSlice sets out[i] ^= in[i] for every i. The two slices must have
+// equal length.
+func XorSlice(in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	for i, v := range in {
+		out[i] ^= v
+	}
+}
+
+// DotProduct returns the field dot product of coefficient row coeffs with
+// the column vector vals: sum_i coeffs[i]*vals[i]. The slices must have
+// equal length.
+func DotProduct(coeffs, vals []byte) byte {
+	if len(coeffs) != len(vals) {
+		panic("gf256: DotProduct length mismatch")
+	}
+	var acc byte
+	for i, c := range coeffs {
+		acc ^= mulTable[c][vals[i]]
+	}
+	return acc
+}

@@ -1,0 +1,277 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", Add(0x53, 0xCA), 0x53^0xCA)
+	}
+	if Sub(0x53, 0xCA) != Add(0x53, 0xCA) {
+		t.Fatal("Sub must equal Add in characteristic 2")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-checked products under polynomial 0x11D.
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 21, 0},
+		{1, 1, 1},
+		{1, 173, 173},
+		{2, 2, 4},
+		{2, 0x80, 0x1D}, // 0x100 reduces by 0x11D
+		{0x53, 0xCA, 0x8F},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		b := byte(x)
+		if Mul(b, 1) != b {
+			t.Fatalf("Mul(%#x, 1) != %#x", b, b)
+		}
+		if Mul(b, 0) != 0 {
+			t.Fatalf("Mul(%#x, 0) != 0", b)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		b := byte(x)
+		inv := Inv(b)
+		if Mul(b, inv) != 1 {
+			t.Fatalf("Mul(%#x, Inv(%#x)) = %#x, want 1", b, b, Mul(b, inv))
+		}
+		if Div(1, b) != inv {
+			t.Fatalf("Div(1, %#x) != Inv(%#x)", b, b)
+		}
+	}
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(7, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpCyclesThroughAllNonZero(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator powers cover %d elements, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("generator powers must never be zero")
+	}
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0) = %#x, want 1", Exp(0))
+	}
+	if Exp(255) != 1 {
+		t.Fatalf("Exp(255) = %#x, want 1 (order 255)", Exp(255))
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Fatal("Pow(0,0) must be 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Fatal("Pow(0,5) must be 0")
+	}
+	f := func(x byte, nRaw uint8) bool {
+		n := int(nRaw % 16)
+		want := byte(1)
+		for i := 0; i < n; i++ {
+			want = Mul(want, x)
+		}
+		return Pow(x, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		if Exp(Log(byte(x))) != byte(x) {
+			t.Fatalf("Exp(Log(%#x)) != %#x", x, x)
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	in := []byte{0, 1, 2, 3, 0x80, 0xFF}
+	out := make([]byte, len(in))
+	MulSlice(0x1D, in, out)
+	for i := range in {
+		if out[i] != Mul(0x1D, in[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	// c == 1 copies.
+	MulSlice(1, in, out)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("MulSlice with c=1 must copy")
+		}
+	}
+	// c == 0 zeroes.
+	MulSlice(0, in, out)
+	for i := range out {
+		if out[i] != 0 {
+			t.Fatal("MulSlice with c=0 must zero")
+		}
+	}
+}
+
+func TestMulSliceXorAccumulates(t *testing.T) {
+	in := []byte{5, 6, 7, 8}
+	out := []byte{1, 2, 3, 4}
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = out[i] ^ Mul(9, in[i])
+	}
+	MulSliceXor(9, in, out)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("MulSliceXor mismatch at %d: got %#x want %#x", i, out[i], want[i])
+		}
+	}
+	// c == 0 must leave out untouched.
+	before := append([]byte(nil), out...)
+	MulSliceXor(0, in, out)
+	for i := range out {
+		if out[i] != before[i] {
+			t.Fatal("MulSliceXor with c=0 must be a no-op")
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	want := []byte{5, 7, 5}
+	XorSlice(a, b)
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("XorSlice mismatch at %d", i)
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	coeffs := []byte{1, 2, 3}
+	vals := []byte{4, 5, 6}
+	want := Mul(1, 4) ^ Mul(2, 5) ^ Mul(3, 6)
+	if got := DotProduct(coeffs, vals); got != want {
+		t.Fatalf("DotProduct = %#x, want %#x", got, want)
+	}
+}
+
+func TestSliceLengthMismatchesPanic(t *testing.T) {
+	checks := []func(){
+		func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		func() { MulSliceXor(2, make([]byte, 3), make([]byte, 4)) },
+		func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+		func() { DotProduct(make([]byte, 3), make([]byte, 4)) },
+	}
+	for i, fn := range checks {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("check %d: length mismatch did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulSliceXorMatchesScalarProperty(t *testing.T) {
+	f := func(c byte, data []byte) bool {
+		out := make([]byte, len(data))
+		ref := make([]byte, len(data))
+		MulSliceXor(c, data, out)
+		for i := range data {
+			ref[i] = Mul(c, data[i])
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulSliceXor(b *testing.B) {
+	in := make([]byte, 64*1024)
+	out := make([]byte, 64*1024)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSliceXor(0x8E, in, out)
+	}
+}

@@ -1,0 +1,932 @@
+// Package hdfs implements a miniature, in-process model of the HDFS +
+// HDFS-RAID system the paper studies: a namenode tracking files, blocks,
+// replica locations and stripes; rack-aware datanodes holding real
+// bytes; a RaidNode that erasure-codes cold files (Fig. 2: k data blocks
+// per stripe, byte-level striping, r parity blocks, every block of a
+// stripe on its own rack); a BlockFixer that reconstructs blocks lost to
+// machine failures by executing the codec's repair plan over the
+// cluster network; and a degraded read path for clients that hit a
+// missing block before the fixer does.
+//
+// Every byte a repair or degraded read moves between racks is charged to
+// the cluster.Network fabric, so integration tests observe exactly the
+// quantity the paper measures on the production cluster — cross-rack
+// recovery traffic — while moving real data through the real codecs.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ec"
+)
+
+// Common errors.
+var (
+	ErrFileExists    = errors.New("hdfs: file already exists")
+	ErrFileNotFound  = errors.New("hdfs: file not found")
+	ErrBlockLost     = errors.New("hdfs: block unrecoverable")
+	ErrAlreadyRaided = errors.New("hdfs: file already raided")
+	ErrNodeDown      = errors.New("hdfs: datanode down")
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// StripeID identifies an erasure-coding stripe.
+type StripeID int64
+
+// noStripe marks a block that is not part of any stripe.
+const noStripe StripeID = -1
+
+// dataNode is one storage machine. Bytes live in memory; liveness is a
+// flag so failures are reversible (unavailability) or permanent
+// (decommission) at the caller's choice.
+type dataNode struct {
+	id int
+
+	mu     sync.Mutex
+	alive  bool
+	blocks map[BlockID][]byte
+}
+
+func (d *dataNode) store(id BlockID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive {
+		return fmt.Errorf("%w: node %d", ErrNodeDown, d.id)
+	}
+	d.blocks[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// readRange returns length bytes at offset, zero-padded past the
+// block's physical end (striped blocks are logically padded to the
+// stripe's shard size).
+func (d *dataNode) readRange(id BlockID, offset, length int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive {
+		return nil, fmt.Errorf("%w: node %d", ErrNodeDown, d.id)
+	}
+	data, ok := d.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: node %d does not hold block %d", d.id, id)
+	}
+	out := make([]byte, length)
+	if offset < int64(len(data)) {
+		copy(out, data[offset:])
+	}
+	return out, nil
+}
+
+func (d *dataNode) delete(id BlockID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, id)
+}
+
+func (d *dataNode) has(id BlockID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.blocks[id]
+	return ok
+}
+
+func (d *dataNode) setAlive(alive bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.alive = alive
+}
+
+func (d *dataNode) isAlive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alive
+}
+
+func (d *dataNode) wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks = make(map[BlockID][]byte)
+}
+
+// blockMeta is the namenode's record of one block.
+type blockMeta struct {
+	id        BlockID
+	file      string // "" for parity blocks
+	index     int    // block index within the file, or parity index
+	size      int64  // logical size (payload bytes)
+	checksum  uint32 // CRC-32 (IEEE) of the payload, set at creation
+	locations []int  // datanodes currently holding a replica
+	stripe    StripeID
+	stripePos int // position within the stripe [0, width)
+}
+
+// stripeMeta is the namenode's record of one erasure-coding stripe.
+type stripeMeta struct {
+	id        StripeID
+	shardSize int64
+	// blocks[pos] is the block at stripe position pos; phantom
+	// positions (zero padding of a short tail stripe) hold -1.
+	blocks []BlockID
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	name   string
+	size   int64
+	blocks []BlockID
+	raided bool
+	// lastAccess is the logical-clock time of the last write or read;
+	// the RaidNode's cold-data policy keys off it (§2.1).
+	lastAccess time.Duration
+}
+
+// Config parameterises a Cluster.
+type Config struct {
+	// Topology is the rack/machine layout.
+	Topology cluster.Topology
+	// Code is the erasure codec used by the RaidNode.
+	Code ec.Code
+	// BlockSize is the maximum block payload (256 MB in production,
+	// kilobytes in tests).
+	BlockSize int64
+	// Replication is the replica count for un-raided files (3 in the
+	// paper's cluster).
+	Replication int
+	// Seed drives placement randomness.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Code == nil {
+		return errors.New("hdfs: Code is required")
+	}
+	if c.BlockSize <= 0 {
+		return errors.New("hdfs: BlockSize must be positive")
+	}
+	if c.Replication < 1 {
+		return errors.New("hdfs: Replication must be >= 1")
+	}
+	if c.Replication > c.Topology.Racks {
+		return fmt.Errorf("hdfs: replication %d exceeds rack count %d", c.Replication, c.Topology.Racks)
+	}
+	if c.Code.TotalShards() > c.Topology.Racks {
+		return fmt.Errorf("hdfs: stripe width %d exceeds rack count %d (one rack per block, §2.1)",
+			c.Code.TotalShards(), c.Topology.Racks)
+	}
+	return nil
+}
+
+// Cluster is the miniature DFS.
+type Cluster struct {
+	cfg   Config
+	net   *cluster.Network
+	nodes []*dataNode
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	files      map[string]*fileMeta
+	blocks     map[BlockID]*blockMeta
+	stripes    map[StripeID]*stripeMeta
+	nextBlock  BlockID
+	nextStripe StripeID
+	// now is the logical clock driving the raid policy.
+	now time.Duration
+}
+
+// New builds an empty cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := cluster.NewNetwork(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*dataNode, cfg.Topology.Machines())
+	for i := range nodes {
+		nodes[i] = &dataNode{id: i, alive: true, blocks: make(map[BlockID][]byte)}
+	}
+	return &Cluster{
+		cfg:     cfg,
+		net:     net,
+		nodes:   nodes,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		files:   make(map[string]*fileMeta),
+		blocks:  make(map[BlockID]*blockMeta),
+		stripes: make(map[StripeID]*stripeMeta),
+	}, nil
+}
+
+// Network exposes the byte-accounting fabric.
+func (c *Cluster) Network() *cluster.Network { return c.net }
+
+// Code returns the configured codec.
+func (c *Cluster) Code() ec.Code { return c.cfg.Code }
+
+// WriteFile stores data as a new file with the configured replication.
+func (c *Cluster) WriteFile(name string, data []byte) error {
+	if len(data) == 0 {
+		return errors.New("hdfs: empty file")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrFileExists, name)
+	}
+	fm := &fileMeta{name: name, size: int64(len(data)), lastAccess: c.now}
+	for off := int64(0); off < int64(len(data)); off += c.cfg.BlockSize {
+		end := off + c.cfg.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		id := c.nextBlock
+		c.nextBlock++
+		bm := &blockMeta{
+			id:       id,
+			file:     name,
+			index:    len(fm.blocks),
+			size:     end - off,
+			checksum: crc32.ChecksumIEEE(data[off:end]),
+			stripe:   noStripe,
+		}
+		machines, err := c.placeLiveLocked(c.cfg.Replication)
+		if err != nil {
+			return err
+		}
+		for _, m := range machines {
+			if err := c.nodes[m].store(id, data[off:end]); err != nil {
+				return err
+			}
+			bm.locations = append(bm.locations, m)
+		}
+		c.blocks[id] = bm
+		fm.blocks = append(fm.blocks, id)
+	}
+	c.files[name] = fm
+	return nil
+}
+
+// placeLiveLocked selects n machines on distinct racks, substituting a
+// live machine (on an unused rack where possible) for any dead pick —
+// the namenode never targets a machine that missed its heartbeat.
+func (c *Cluster) placeLiveLocked(n int) ([]int, error) {
+	placement, err := cluster.PlaceStripe(c.rng, c.cfg.Topology, n)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[int]bool, n)
+	for _, m := range placement {
+		used[c.cfg.Topology.RackOf(m)] = true
+	}
+	for i, m := range placement {
+		if c.nodes[m].isAlive() {
+			continue
+		}
+		delete(used, c.cfg.Topology.RackOf(m))
+		alt, err := c.pickLiveMachineLocked(used)
+		if err != nil {
+			return nil, err
+		}
+		placement[i] = alt
+		used[c.cfg.Topology.RackOf(alt)] = true
+	}
+	return placement, nil
+}
+
+// liveLocations returns the datanodes that are alive and hold the block.
+func (c *Cluster) liveLocations(bm *blockMeta) []int {
+	var out []int
+	for _, m := range bm.locations {
+		if c.nodes[m].isAlive() && c.nodes[m].has(bm.id) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ReadFile returns the file's contents, reconstructing missing striped
+// blocks on the fly (degraded read) and charging that traffic to the
+// network fabric. Reads of healthy replicas are not charged: the paper
+// measures recovery traffic, not foreground traffic.
+func (c *Cluster) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	fm.lastAccess = c.now
+	out := make([]byte, 0, fm.size)
+	for _, id := range fm.blocks {
+		bm := c.blocks[id]
+		if live := c.liveLocations(bm); len(live) > 0 {
+			buf, err := c.nodes[live[0]].readRange(id, 0, bm.size)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+			continue
+		}
+		// Degraded read: reconstruct the block at a live machine on a
+		// rack the stripe does not occupy, so every helper read crosses
+		// racks — the same accounting as a fixer repair.
+		if bm.stripe == noStripe {
+			return nil, fmt.Errorf("%w: block %d of %s", ErrBlockLost, bm.id, name)
+		}
+		reader, err := c.pickLiveMachineLocked(c.excludeRacksLocked(c.stripes[bm.stripe], bm.id))
+		if err != nil {
+			return nil, err
+		}
+		buf, err := c.reconstructBlockLocked(bm, reader)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:bm.size]...)
+	}
+	return out, nil
+}
+
+// pickLiveMachineLocked returns a random live machine, avoiding racks in
+// the exclusion set when possible.
+func (c *Cluster) pickLiveMachineLocked(excludeRacks map[int]bool) (int, error) {
+	if m, err := cluster.PickReplacement(c.rng, c.cfg.Topology, excludeRacks); err == nil && c.nodes[m].isAlive() {
+		return m, nil
+	}
+	// Retry a bounded number of times, then scan.
+	for i := 0; i < 32; i++ {
+		m := c.rng.Intn(len(c.nodes))
+		if c.nodes[m].isAlive() && !excludeRacks[c.cfg.Topology.RackOf(m)] {
+			return m, nil
+		}
+	}
+	for m := range c.nodes {
+		if c.nodes[m].isAlive() && !excludeRacks[c.cfg.Topology.RackOf(m)] {
+			return m, nil
+		}
+	}
+	for m := range c.nodes {
+		if c.nodes[m].isAlive() {
+			return m, nil
+		}
+	}
+	return 0, errors.New("hdfs: no live machines")
+}
+
+// RaidFile erasure-codes a file in place (the RaidNode path): its blocks
+// are grouped into stripes of k, parity blocks are computed at a random
+// encoder machine, every block of each stripe is re-placed on its own
+// rack, and the data blocks drop to a single replica. Short tail
+// stripes are padded with phantom all-zero blocks, exactly as HDFS-RAID
+// pads files whose block count is not a multiple of k.
+func (c *Cluster) RaidFile(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	if fm.raided {
+		return fmt.Errorf("%w: %s", ErrAlreadyRaided, name)
+	}
+	k := c.cfg.Code.DataShards()
+	for start := 0; start < len(fm.blocks); start += k {
+		end := start + k
+		if end > len(fm.blocks) {
+			end = len(fm.blocks)
+		}
+		group := fm.blocks[start:end]
+		if err := c.raidStripeLocked(group); err != nil {
+			return fmt.Errorf("hdfs: raiding %s blocks [%d, %d): %w", name, start, end, err)
+		}
+	}
+	fm.raided = true
+	return nil
+}
+
+// raidStripeLocked encodes one group of <= k data blocks into a stripe.
+func (c *Cluster) raidStripeLocked(group []BlockID) error {
+	code := c.cfg.Code
+	k := code.DataShards()
+	width := code.TotalShards()
+
+	// Shard size: the largest block in the group, rounded up to the
+	// codec's alignment. Shorter blocks are zero-padded for encoding
+	// but stored at their logical size.
+	var shardSize int64
+	for _, id := range group {
+		if s := c.blocks[id].size; s > shardSize {
+			shardSize = s
+		}
+	}
+	if align := int64(code.MinShardSize()); shardSize%align != 0 {
+		shardSize += align - shardSize%align
+	}
+
+	// Encoder machine reads every data block (cross-rack traffic: the
+	// raid encoding itself is not free, it is simply not the quantity
+	// the paper measures; tests reset counters after raiding).
+	encoder, err := c.pickLiveMachineLocked(nil)
+	if err != nil {
+		return err
+	}
+	shards := make([][]byte, width)
+	for i, id := range group {
+		bm := c.blocks[id]
+		live := c.liveLocations(bm)
+		if len(live) == 0 {
+			return fmt.Errorf("%w: block %d", ErrBlockLost, id)
+		}
+		src := live[0]
+		buf, err := c.nodes[src].readRange(id, 0, shardSize)
+		if err != nil {
+			return err
+		}
+		if err := c.net.Transfer(src, encoder, shardSize); err != nil {
+			return err
+		}
+		shards[i] = buf
+	}
+	// Phantom padding for a short tail stripe.
+	for i := len(group); i < k; i++ {
+		shards[i] = make([]byte, shardSize)
+	}
+	if err := code.Encode(shards); err != nil {
+		return err
+	}
+
+	// Place the stripe: one rack per block, live machines only.
+	placement, err := c.placeLiveLocked(width)
+	if err != nil {
+		return err
+	}
+
+	sid := c.nextStripe
+	c.nextStripe++
+	sm := &stripeMeta{id: sid, shardSize: shardSize, blocks: make([]BlockID, width)}
+	for pos := range sm.blocks {
+		sm.blocks[pos] = -1
+	}
+
+	// Move data blocks onto their stripe racks and drop extra replicas.
+	for i, id := range group {
+		bm := c.blocks[id]
+		dst := placement[i]
+		if !containsInt(bm.locations, dst) {
+			live := c.liveLocations(bm)
+			if len(live) == 0 {
+				return fmt.Errorf("%w: block %d", ErrBlockLost, id)
+			}
+			src := live[0]
+			buf, err := c.nodes[src].readRange(id, 0, bm.size)
+			if err != nil {
+				return err
+			}
+			if err := c.net.Transfer(src, dst, bm.size); err != nil {
+				return err
+			}
+			if err := c.nodes[dst].store(id, buf); err != nil {
+				return err
+			}
+		}
+		for _, m := range bm.locations {
+			if m != dst {
+				c.nodes[m].delete(id)
+			}
+		}
+		bm.locations = []int{dst}
+		bm.stripe = sid
+		bm.stripePos = i
+		sm.blocks[i] = id
+	}
+
+	// Store parity blocks.
+	for j := 0; j < width-k; j++ {
+		pos := k + j
+		id := c.nextBlock
+		c.nextBlock++
+		dst := placement[pos]
+		if err := c.net.Transfer(encoder, dst, shardSize); err != nil {
+			return err
+		}
+		if err := c.nodes[dst].store(id, shards[pos]); err != nil {
+			return err
+		}
+		bm := &blockMeta{
+			id:        id,
+			file:      "",
+			index:     j,
+			size:      shardSize,
+			checksum:  crc32.ChecksumIEEE(shards[pos]),
+			locations: []int{dst},
+			stripe:    sid,
+			stripePos: pos,
+		}
+		c.blocks[id] = bm
+		sm.blocks[pos] = id
+	}
+	c.stripes[sid] = sm
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// stripeAlive reports per-position availability: phantom positions are
+// always available (they are known zeros), real positions require a
+// live holder.
+func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
+	return func(pos int) bool {
+		if pos < 0 || pos >= len(sm.blocks) {
+			return false
+		}
+		id := sm.blocks[pos]
+		if id < 0 {
+			return true // phantom zero block
+		}
+		return len(c.liveLocations(c.blocks[id])) > 0
+	}
+}
+
+// stripeFetch builds the codec fetch function for a stripe: phantom
+// positions yield zeros for free; real positions read from a live
+// holder and charge the transfer to the destination machine.
+func (c *Cluster) stripeFetch(sm *stripeMeta, dst int) ec.FetchFunc {
+	return func(req ec.ReadRequest) ([]byte, error) {
+		id := sm.blocks[req.Shard]
+		if id < 0 {
+			return make([]byte, req.Length), nil
+		}
+		bm := c.blocks[id]
+		live := c.liveLocations(bm)
+		if len(live) == 0 {
+			return nil, fmt.Errorf("%w: stripe %d position %d", ErrBlockLost, sm.id, req.Shard)
+		}
+		src := live[0]
+		buf, err := c.nodes[src].readRange(id, req.Offset, req.Length)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.net.Transfer(src, dst, req.Length); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+// reconstructBlockLocked rebuilds a striped block's full shard at the
+// given machine, charging all fetches to the network. The result has
+// shardSize bytes; callers truncate to the block's logical size.
+func (c *Cluster) reconstructBlockLocked(bm *blockMeta, at int) ([]byte, error) {
+	if bm.stripe == noStripe {
+		return nil, fmt.Errorf("%w: block %d is not striped", ErrBlockLost, bm.id)
+	}
+	sm := c.stripes[bm.stripe]
+	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAlive(sm), c.stripeFetch(sm, at))
+}
+
+// FailMachine marks a machine unavailable. Its blocks become
+// unreachable but are retained, so RestoreMachine models the common
+// case of §2.2 (machines return after transient unavailability).
+func (c *Cluster) FailMachine(id int) {
+	c.nodes[id].setAlive(false)
+}
+
+// RestoreMachine brings a machine back with its blocks intact.
+func (c *Cluster) RestoreMachine(id int) {
+	c.nodes[id].setAlive(true)
+}
+
+// DecommissionMachine permanently removes a machine: its blocks are
+// wiped before it is marked down, so even restoring it returns nothing.
+func (c *Cluster) DecommissionMachine(id int) {
+	c.nodes[id].wipe()
+	c.nodes[id].setAlive(false)
+}
+
+// FixReport summarises one BlockFixer pass.
+type FixReport struct {
+	// ScannedBlocks is the number of block records examined.
+	ScannedBlocks int
+	// RepairedStriped counts striped blocks reconstructed via the codec.
+	RepairedStriped int
+	// ReReplicated counts replicated blocks copied from a surviving
+	// replica.
+	ReReplicated int
+	// Unrecoverable lists blocks that could not be restored.
+	Unrecoverable []BlockID
+	// CrossRackBytes is the cross-rack traffic this pass generated.
+	CrossRackBytes int64
+}
+
+// RunBlockFixer scans every block and restores availability: lost
+// striped blocks are grouped by stripe and reconstructed with one joint
+// repair per stripe (§2.2: 1.87% of affected stripes have two blocks
+// missing, and a joint decode shares its downloads across them);
+// replicated blocks below their target replication are re-replicated
+// from a surviving copy.
+func (c *Cluster) RunBlockFixer() (*FixReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	report := &FixReport{}
+	before := c.net.CrossRackBytes()
+
+	// Deterministic iteration: ascending block id.
+	ids := make([]BlockID, 0, len(c.blocks))
+	for id := range c.blocks {
+		ids = append(ids, id)
+	}
+	sortBlockIDs(ids)
+
+	lostByStripe := make(map[StripeID][]*blockMeta)
+	var stripeOrder []StripeID
+	for _, id := range ids {
+		bm := c.blocks[id]
+		report.ScannedBlocks++
+		live := c.liveLocations(bm)
+
+		if bm.stripe != noStripe {
+			if len(live) > 0 {
+				continue
+			}
+			if _, seen := lostByStripe[bm.stripe]; !seen {
+				stripeOrder = append(stripeOrder, bm.stripe)
+			}
+			lostByStripe[bm.stripe] = append(lostByStripe[bm.stripe], bm)
+			continue
+		}
+
+		target := c.cfg.Replication
+		if len(live) >= target && len(live) > 0 {
+			continue
+		}
+		if len(live) == 0 {
+			report.Unrecoverable = append(report.Unrecoverable, id)
+			continue
+		}
+		if err := c.reReplicateLocked(bm, live, target); err != nil {
+			report.Unrecoverable = append(report.Unrecoverable, id)
+			continue
+		}
+		report.ReReplicated++
+	}
+
+	for _, sid := range stripeOrder {
+		lost := lostByStripe[sid]
+		if err := c.fixStripeLocked(c.stripes[sid], lost, report); err != nil {
+			for _, bm := range lost {
+				report.Unrecoverable = append(report.Unrecoverable, bm.id)
+			}
+		}
+	}
+	report.CrossRackBytes = c.net.CrossRackBytes() - before
+	return report, nil
+}
+
+// excludeRacksLocked returns the racks hosting live blocks of the
+// stripe, skipping the given block.
+func (c *Cluster) excludeRacksLocked(sm *stripeMeta, skip BlockID) map[int]bool {
+	exclude := make(map[int]bool)
+	for _, peer := range sm.blocks {
+		if peer < 0 || peer == skip {
+			continue
+		}
+		for _, m := range c.liveLocations(c.blocks[peer]) {
+			exclude[c.cfg.Topology.RackOf(m)] = true
+		}
+	}
+	return exclude
+}
+
+// fixStripeLocked reconstructs all lost blocks of one stripe with a
+// single joint repair executed at the first replacement machine; the
+// other reconstructed blocks are then shipped onward to their own fresh
+// racks.
+func (c *Cluster) fixStripeLocked(sm *stripeMeta, lost []*blockMeta, report *FixReport) error {
+	exclude := c.excludeRacksLocked(sm, -1)
+	positions := make([]int, len(lost))
+	destinations := make([]int, len(lost))
+	for i, bm := range lost {
+		positions[i] = bm.stripePos
+		dst, err := c.pickLiveMachineLocked(exclude)
+		if err != nil {
+			return err
+		}
+		destinations[i] = dst
+		exclude[c.cfg.Topology.RackOf(dst)] = true
+	}
+
+	worker := destinations[0]
+	shards, err := c.cfg.Code.ExecuteMultiRepair(positions, sm.shardSize,
+		c.stripeAlive(sm), c.stripeFetch(sm, worker))
+	if err != nil {
+		return err
+	}
+	for i, bm := range lost {
+		content := shards[bm.stripePos][:bm.size]
+		dst := destinations[i]
+		if dst != worker {
+			if err := c.net.Transfer(worker, dst, bm.size); err != nil {
+				return err
+			}
+		}
+		if err := c.nodes[dst].store(bm.id, content); err != nil {
+			return err
+		}
+		bm.locations = []int{dst}
+		report.RepairedStriped++
+	}
+	return nil
+}
+
+// reReplicateLocked copies a replicated block from a live replica until
+// it reaches the target count, preferring fresh racks.
+func (c *Cluster) reReplicateLocked(bm *blockMeta, live []int, target int) error {
+	current := append([]int(nil), live...)
+	for len(current) < target {
+		exclude := make(map[int]bool)
+		for _, m := range current {
+			exclude[c.cfg.Topology.RackOf(m)] = true
+		}
+		dst, err := c.pickLiveMachineLocked(exclude)
+		if err != nil {
+			return err
+		}
+		src := current[0]
+		buf, err := c.nodes[src].readRange(bm.id, 0, bm.size)
+		if err != nil {
+			return err
+		}
+		if err := c.net.Transfer(src, dst, bm.size); err != nil {
+			return err
+		}
+		if err := c.nodes[dst].store(bm.id, buf); err != nil {
+			return err
+		}
+		current = append(current, dst)
+	}
+	bm.locations = current
+	return nil
+}
+
+func sortBlockIDs(ids []BlockID) {
+	// Insertion sort is fine: fixer passes scan at most a few thousand
+	// blocks in tests, and the dependency stays stdlib-free.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// FileInfo is a snapshot of one file's metadata.
+type FileInfo struct {
+	Name   string
+	Size   int64
+	Blocks int
+	Raided bool
+}
+
+// Stat returns a file's metadata.
+func (c *Cluster) Stat(name string) (FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	return FileInfo{Name: fm.name, Size: fm.size, Blocks: len(fm.blocks), Raided: fm.raided}, nil
+}
+
+// BlockLocations returns, for each block of the file, the machines
+// currently holding live replicas.
+func (c *Cluster) BlockLocations(name string) ([][]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	out := make([][]int, len(fm.blocks))
+	for i, id := range fm.blocks {
+		out[i] = c.liveLocations(c.blocks[id])
+	}
+	return out, nil
+}
+
+// StripeOf returns the stripe id and position of a file's block, or
+// noStripe if the file is not raided.
+func (c *Cluster) StripeOf(name string, blockIndex int) (StripeID, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return noStripe, 0, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	if blockIndex < 0 || blockIndex >= len(fm.blocks) {
+		return noStripe, 0, fmt.Errorf("hdfs: block index %d out of range", blockIndex)
+	}
+	bm := c.blocks[fm.blocks[blockIndex]]
+	return bm.stripe, bm.stripePos, nil
+}
+
+// StripeRacks returns the racks hosting live blocks of the stripe —
+// tests use it to assert the one-rack-per-block invariant.
+func (c *Cluster) StripeRacks(id StripeID) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sm, ok := c.stripes[id]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: stripe %d not found", id)
+	}
+	var racks []int
+	for _, bid := range sm.blocks {
+		if bid < 0 {
+			continue
+		}
+		for _, m := range c.liveLocations(c.blocks[bid]) {
+			racks = append(racks, c.cfg.Topology.RackOf(m))
+		}
+	}
+	return racks, nil
+}
+
+// ClusterStats is a point-in-time inventory of the DFS.
+type ClusterStats struct {
+	// Files and RaidedFiles count the namespace.
+	Files, RaidedFiles int
+	// DataBlocks and ParityBlocks count block records.
+	DataBlocks, ParityBlocks int
+	// Stripes counts erasure-coding stripes.
+	Stripes int
+	// LiveMachines counts datanodes answering heartbeats.
+	LiveMachines int
+	// LogicalBytes is the user data stored; PhysicalBytes what it costs
+	// on disk (replicas + parity). Their ratio is the effective storage
+	// overhead of the cluster's current hot/cold mix.
+	LogicalBytes, PhysicalBytes int64
+}
+
+// Stats returns the cluster inventory.
+func (c *Cluster) Stats() ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s ClusterStats
+	for _, fm := range c.files {
+		s.Files++
+		if fm.raided {
+			s.RaidedFiles++
+		}
+		s.LogicalBytes += fm.size
+	}
+	for _, bm := range c.blocks {
+		if bm.file == "" {
+			s.ParityBlocks++
+		} else {
+			s.DataBlocks++
+		}
+	}
+	s.Stripes = len(c.stripes)
+	for _, n := range c.nodes {
+		if n.isAlive() {
+			s.LiveMachines++
+		}
+	}
+	s.PhysicalBytes = c.sumStoredBytes()
+	return s
+}
+
+// TotalStoredBytes sums the physical bytes held by live and dead
+// datanodes — the denominator of storage-overhead measurements.
+func (c *Cluster) TotalStoredBytes() int64 {
+	return c.sumStoredBytes()
+}
+
+func (c *Cluster) sumStoredBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, b := range n.blocks {
+			total += int64(len(b))
+		}
+		n.mu.Unlock()
+	}
+	return total
+}

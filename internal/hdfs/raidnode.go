@@ -1,0 +1,196 @@
+// RaidNode policy engine and scrubber.
+//
+// §2.1 of the paper: "The most frequently accessed data is stored as 3
+// replicas ... the data which has not been accessed for more than three
+// months is stored as a (10,4) RS code." This file implements that
+// tiering loop — a logical clock, per-file access tracking, a cold-data
+// policy, and a RaidNode pass that erasure-codes every cold file — plus
+// the checksum scrubber that detects silently corrupted replicas so the
+// BlockFixer can reconstruct them.
+package hdfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+)
+
+// DefaultColdAge is the paper's archival threshold: three months
+// without access.
+const DefaultColdAge = 90 * 24 * time.Hour
+
+// RaidPolicy decides which files the RaidNode encodes.
+type RaidPolicy struct {
+	// ColdAge is the minimum time since last access.
+	ColdAge time.Duration
+}
+
+// DefaultRaidPolicy returns the paper's three-month policy.
+func DefaultRaidPolicy() RaidPolicy { return RaidPolicy{ColdAge: DefaultColdAge} }
+
+// AdvanceClock moves the cluster's logical clock forward. The clock
+// only drives the raid policy; it never affects data paths.
+func (c *Cluster) AdvanceClock(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Now returns the logical clock.
+func (c *Cluster) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// RaidCandidates returns the files the policy would erasure-code:
+// un-raided files whose last access is at least ColdAge ago, sorted by
+// name for determinism.
+func (c *Cluster) RaidCandidates(policy RaidPolicy) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name, fm := range c.files {
+		if fm.raided {
+			continue
+		}
+		if c.now-fm.lastAccess >= policy.ColdAge {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RaidReport summarises one RaidNode pass.
+type RaidReport struct {
+	// FilesRaided counts files converted from replication to the code.
+	FilesRaided int
+	// BlocksEncoded counts data blocks that joined stripes.
+	BlocksEncoded int
+	// StorageReclaimedBytes is the drop in physical bytes stored.
+	StorageReclaimedBytes int64
+	// CrossRackBytes is the traffic the encoding itself moved.
+	CrossRackBytes int64
+}
+
+// RunRaidNode applies the policy: every cold file is erasure-coded and
+// its extra replicas dropped, exactly as the production RaidNode does
+// for data older than three months.
+func (c *Cluster) RunRaidNode(policy RaidPolicy) (*RaidReport, error) {
+	report := &RaidReport{}
+	before := c.TotalStoredBytes()
+	netBefore := c.net.CrossRackBytes()
+	for _, name := range c.RaidCandidates(policy) {
+		info, err := c.Stat(name)
+		if err != nil {
+			return report, err
+		}
+		if err := c.RaidFile(name); err != nil {
+			return report, fmt.Errorf("hdfs: raid policy on %s: %w", name, err)
+		}
+		report.FilesRaided++
+		report.BlocksEncoded += info.Blocks
+	}
+	report.StorageReclaimedBytes = before - c.TotalStoredBytes()
+	report.CrossRackBytes = c.net.CrossRackBytes() - netBefore
+	return report, nil
+}
+
+// ScrubReport summarises one scrubber pass.
+type ScrubReport struct {
+	// ScannedReplicas counts replica payloads whose checksum was
+	// recomputed.
+	ScannedReplicas int
+	// CorruptReplicas counts replicas whose content no longer matched
+	// the block checksum; they are dropped so the fixer rebuilds them.
+	CorruptReplicas int
+	// AffectedBlocks lists blocks that lost at least one replica.
+	AffectedBlocks []BlockID
+}
+
+// RunScrubber recomputes every live replica's checksum against the
+// block's recorded CRC-32 and evicts corrupt replicas. It does not
+// repair; run the BlockFixer afterwards, as the production pipeline
+// does.
+func (c *Cluster) RunScrubber() (*ScrubReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	report := &ScrubReport{}
+
+	ids := make([]BlockID, 0, len(c.blocks))
+	for id := range c.blocks {
+		ids = append(ids, id)
+	}
+	sortBlockIDs(ids)
+
+	for _, id := range ids {
+		bm := c.blocks[id]
+		affected := false
+		var clean []int
+		for _, m := range bm.locations {
+			node := c.nodes[m]
+			if !node.isAlive() || !node.has(id) {
+				clean = append(clean, m)
+				continue
+			}
+			buf, err := node.readRange(id, 0, bm.size)
+			if err != nil {
+				return nil, err
+			}
+			report.ScannedReplicas++
+			if crc32.ChecksumIEEE(buf) != bm.checksum {
+				node.delete(id)
+				report.CorruptReplicas++
+				affected = true
+				continue
+			}
+			clean = append(clean, m)
+		}
+		if affected {
+			bm.locations = clean
+			report.AffectedBlocks = append(report.AffectedBlocks, id)
+		}
+	}
+	return report, nil
+}
+
+// InjectBitRot flips one byte of the replica of block id stored on the
+// given machine — a test hook standing in for the silent disk
+// corruption scrubbers exist to catch. It deliberately bypasses
+// checksum maintenance.
+func (c *Cluster) InjectBitRot(machine int, id BlockID, offset int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := c.nodes[machine]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	data, ok := node.blocks[id]
+	if !ok {
+		return fmt.Errorf("hdfs: node %d does not hold block %d", machine, id)
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("hdfs: offset %d outside block of %d bytes", offset, len(data))
+	}
+	data[offset] ^= 0xFF
+	return nil
+}
+
+// BlocksOn returns the ids of blocks with a replica on the machine,
+// sorted ascending.
+func (c *Cluster) BlocksOn(machine int) []BlockID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := c.nodes[machine]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	out := make([]BlockID, 0, len(node.blocks))
+	for id := range node.blocks {
+		out = append(out, id)
+	}
+	sortBlockIDs(out)
+	return out
+}

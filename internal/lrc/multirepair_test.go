@@ -1,0 +1,124 @@
+package lrc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestMultiRepairTwoGroupsRepairLocally(t *testing.T) {
+	// One missing data shard per local group: both repair locally, so
+	// the joint plan reads each group once — 10 shards total for
+	// (10,4,2), same as two separate local repairs but planned jointly.
+	c, _ := New(10, 4, 2)
+	const size = 4096
+	plan, err := c.PlanMultiRepair([]int{0, 5}, size, ec.AllAliveExcept(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != 10*size {
+		t.Fatalf("two local repairs read %d, want %d", plan.TotalBytes(), 10*size)
+	}
+}
+
+func TestMultiRepairSameGroupFallsBackToGlobal(t *testing.T) {
+	// Two missing in one local group: the group cannot self-heal, the
+	// planner must schedule a global decode.
+	c, _ := New(10, 4, 2)
+	const size = 4096
+	plan, err := c.PlanMultiRepair([]int{0, 1}, size, ec.AllAliveExcept(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != 10*size {
+		t.Fatalf("global fallback reads %d, want %d (k shards)", plan.TotalBytes(), 10*size)
+	}
+	for _, r := range plan.Reads {
+		if r.Shard == 0 || r.Shard == 1 {
+			t.Fatal("plan reads a missing shard")
+		}
+	}
+}
+
+func TestMultiRepairChainsGlobalThenLocal(t *testing.T) {
+	// Two data shards of one group plus the other group's local parity:
+	// global decode restores the data, then the second group's parity
+	// repairs locally from members the plan already covers or reads.
+	c, _ := New(10, 4, 2)
+	rng := rand.New(rand.NewSource(1))
+	orig := randShards(rng, c, 256)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	missing := []int{0, 1, 15}
+	got, err := c.ExecuteMultiRepair(missing, 256, ec.AllAliveExcept(missing...), memFetch(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		if !bytes.Equal(got[m], orig[m]) {
+			t.Fatalf("shard %d wrong", m)
+		}
+	}
+}
+
+func TestExecuteMultiRepairAllPairsXorbas(t *testing.T) {
+	c, _ := New(10, 4, 2)
+	rng := rand.New(rand.NewSource(2))
+	orig := randShards(rng, c, 64)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			got, err := c.ExecuteMultiRepair([]int{i, j}, 64, ec.AllAliveExcept(i, j), memFetch(orig))
+			if err != nil {
+				t.Fatalf("pair (%d,%d): %v", i, j, err)
+			}
+			if !bytes.Equal(got[i], orig[i]) || !bytes.Equal(got[j], orig[j]) {
+				t.Fatalf("pair (%d,%d): wrong bytes", i, j)
+			}
+		}
+	}
+}
+
+func TestExecuteMultiRepairOnlyTouchesPlannedReads(t *testing.T) {
+	c, _ := New(10, 4, 2)
+	rng := rand.New(rand.NewSource(3))
+	orig := randShards(rng, c, 64)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.PlanMultiRepair([]int{0}, 64, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := make(map[int]bool)
+	for _, r := range plan.Reads {
+		planned[r.Shard] = true
+	}
+	fetched := make(map[int]bool)
+	_, err = c.ExecuteMultiRepair([]int{0}, 64, ec.AllAliveExcept(0), func(req ec.ReadRequest) ([]byte, error) {
+		fetched[req.Shard] = true
+		return orig[req.Shard], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range fetched {
+		if !planned[s] {
+			t.Fatalf("execution fetched unplanned shard %d", s)
+		}
+	}
+}
+
+func TestMultiRepairUnrecoverable(t *testing.T) {
+	c, _ := New(10, 4, 2)
+	missing := []int{0, 1, 2, 3, 4, 14} // whole group + its parity
+	if _, err := c.PlanMultiRepair(missing, 64, ec.AllAliveExcept(missing...)); !errors.Is(err, ec.ErrTooFewShards) {
+		t.Fatalf("expected ErrTooFewShards, got %v", err)
+	}
+}

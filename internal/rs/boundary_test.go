@@ -1,0 +1,98 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+// TestFieldBoundaryParameters exercises the largest codes the field
+// supports: k+r = 256.
+func TestFieldBoundaryParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-parameter construction")
+	}
+	for _, p := range []struct{ k, r int }{{252, 4}, {128, 128}, {1, 255}} {
+		c, err := New(p.k, p.r)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", p.k, p.r, err)
+		}
+		rng := rand.New(rand.NewSource(int64(p.k)))
+		shards := randShards(rng, p.k, p.r, 16)
+		if err := c.Encode(shards); err != nil {
+			t.Fatalf("(%d,%d) encode: %v", p.k, p.r, err)
+		}
+		ok, err := c.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("(%d,%d) verify: (%v, %v)", p.k, p.r, ok, err)
+		}
+		// Erase r random shards (capped for runtime) and reconstruct.
+		work := cloneShards(shards)
+		erase := p.r
+		if erase > 8 {
+			erase = 8
+		}
+		for _, e := range rng.Perm(p.k + p.r)[:erase] {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("(%d,%d) reconstruct: %v", p.k, p.r, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(work[i], shards[i]) {
+				t.Fatalf("(%d,%d): shard %d mismatch", p.k, p.r, i)
+			}
+		}
+	}
+}
+
+// TestSingleDataShard covers the degenerate k=1 code: parity shards are
+// scaled copies, and repair downloads exactly one shard.
+func TestSingleDataShard(t *testing.T) {
+	c, err := New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1, 2, 3}, nil, nil, nil}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.PlanRepair(0, 3, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes() != 3 {
+		t.Fatalf("k=1 repair downloads %d bytes, want 3 (one shard)", plan.TotalBytes())
+	}
+	work := [][]byte{nil, shards[1], shards[2], shards[3]}
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[0], shards[0]) {
+		t.Fatal("k=1 reconstruct wrong")
+	}
+}
+
+// TestOneByteShards runs the full cycle at the smallest legal shard.
+func TestOneByteShards(t *testing.T) {
+	c, _ := New(10, 4)
+	shards := make([][]byte, 14)
+	for i := 0; i < 10; i++ {
+		shards[i] = []byte{byte(i * 17)}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	work := cloneShards(shards)
+	work[0], work[13] = nil, nil
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(work[i], shards[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}

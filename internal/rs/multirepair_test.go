@@ -1,0 +1,95 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestPlanMultiRepairSharedDecode(t *testing.T) {
+	c, _ := New(10, 4)
+	const size = 1 << 20
+	for m := 1; m <= 4; m++ {
+		missing := make([]int, m)
+		for i := range missing {
+			missing[i] = i * 3 // 0,3,6,9
+		}
+		plan, err := c.PlanMultiRepair(missing, size, ec.AllAliveExcept(missing...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One decode serves all m reconstructions: always k shards.
+		if plan.TotalBytes() != 10*size {
+			t.Fatalf("m=%d: joint plan reads %d, want %d", m, plan.TotalBytes(), 10*size)
+		}
+		for _, r := range plan.Reads {
+			for _, miss := range missing {
+				if r.Shard == miss {
+					t.Fatalf("m=%d: plan reads missing shard %d", m, miss)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteMultiRepairRoundTrip(t *testing.T) {
+	c, _ := New(10, 4)
+	rng := rand.New(rand.NewSource(1))
+	orig := randShards(rng, 10, 4, 512)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(req ec.ReadRequest) ([]byte, error) {
+		return orig[req.Shard][req.Offset : req.Offset+req.Length], nil
+	}
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(4)
+		missing := rng.Perm(14)[:m]
+		got, err := c.ExecuteMultiRepair(missing, 512, ec.AllAliveExcept(missing...), fetch)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != m {
+			t.Fatalf("trial %d: %d shards returned, want %d", trial, len(got), m)
+		}
+		for _, idx := range missing {
+			if !bytes.Equal(got[idx], orig[idx]) {
+				t.Fatalf("trial %d: shard %d wrong", trial, idx)
+			}
+		}
+	}
+}
+
+func TestPlanMultiRepairErrors(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.PlanMultiRepair([]int{0, 1, 2}, 8, ec.AllAliveExcept(0, 1, 2)); !errors.Is(err, ec.ErrTooFewShards) {
+		t.Fatalf("beyond tolerance: %v", err)
+	}
+	if _, err := c.PlanMultiRepair([]int{0}, 0, ec.AllAliveExcept(0)); !errors.Is(err, ec.ErrShardSize) {
+		t.Fatalf("zero size: %v", err)
+	}
+	if _, err := c.PlanMultiRepair([]int{0}, 8, ec.AllAliveExcept()); !errors.Is(err, ec.ErrShardPresent) {
+		t.Fatalf("alive target: %v", err)
+	}
+}
+
+func TestMultiRepairCheaperThanSequentialSingles(t *testing.T) {
+	// The reason the fixer groups by stripe: two singles cost 2k, the
+	// joint decode costs k.
+	c, _ := New(10, 4)
+	const size = 4096
+	joint, err := c.PlanMultiRepair([]int{2, 9}, size, ec.AllAliveExcept(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := c.PlanRepair(2, size, ec.AllAliveExcept(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.TotalBytes() >= 2*single.TotalBytes() {
+		t.Fatalf("joint %d not cheaper than 2 singles %d", joint.TotalBytes(), 2*single.TotalBytes())
+	}
+}

@@ -1,0 +1,425 @@
+// Package sim reproduces the paper's measurement study by replaying a
+// calibrated failure trace against an erasure-coded block population and
+// accounting the recovery traffic exactly as the cluster would incur it:
+// every block of a stripe lives on its own rack (§2.1), so every byte a
+// repair reads crosses the TOR switches and the aggregation switch.
+//
+// One Study run produces the Fig. 3a series (machines unavailable per
+// day), the Fig. 3b series (blocks reconstructed and cross-rack bytes
+// per day), and the §3.2 recovery-time totals, for any ec.Code. Running
+// two studies over the same trace yields the paper's projection of what
+// Piggybacked-RS would save ("close to fifty terabytes per day").
+//
+// The package also measures the §2.2 stripe-failure distribution (how
+// many blocks of an affected stripe are missing at once), which
+// justifies optimising for the single-failure case.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DayStats aggregates one simulated day.
+type DayStats struct {
+	// Day is the day index, starting at 0.
+	Day int
+	// UnavailableMachines is the Fig. 3a quantity.
+	UnavailableMachines int
+	// TriggeredEvents is the number of unavailability events that led
+	// to block reconstruction.
+	TriggeredEvents int
+	// BlocksReconstructed is the Fig. 3b left axis.
+	BlocksReconstructed int
+	// CrossRackBytes is the Fig. 3b right axis: bytes moved through TOR
+	// switches for recovery.
+	CrossRackBytes int64
+	// RecoveryTime is the summed §3.2 recovery-time estimate across the
+	// day's block repairs.
+	RecoveryTime time.Duration
+}
+
+// Result is a full study outcome.
+type Result struct {
+	CodeName string
+	Days     []DayStats
+
+	// Medians over the day series — the dotted lines in Fig. 3.
+	MedianUnavailable    float64
+	MedianBlocksPerDay   float64
+	MedianCrossRackBytes float64
+
+	// Totals over the whole trace.
+	TotalBlocks         int64
+	TotalCrossRackBytes int64
+	TotalRecoveryTime   time.Duration
+
+	// RecoveryTimeSamples holds a uniform reservoir sample (seconds) of
+	// per-block recovery times, for percentile reporting (§3.2's "time
+	// taken for recovery" beyond the mean).
+	RecoveryTimeSamples []float64
+}
+
+// RecoveryTimePercentile returns the p-th percentile of per-block
+// recovery time.
+func (r *Result) RecoveryTimePercentile(p float64) time.Duration {
+	if len(r.RecoveryTimeSamples) == 0 {
+		return 0
+	}
+	return time.Duration(stats.Percentile(r.RecoveryTimeSamples, p) * float64(time.Second))
+}
+
+// MeanCrossRackBytesPerDay returns the mean of the daily cross-rack
+// traffic.
+func (r *Result) MeanCrossRackBytesPerDay() float64 {
+	if len(r.Days) == 0 {
+		return 0
+	}
+	return float64(r.TotalCrossRackBytes) / float64(len(r.Days))
+}
+
+// MeanRecoveryTimePerBlock returns the average estimated wall time to
+// repair one block.
+func (r *Result) MeanRecoveryTimePerBlock() time.Duration {
+	if r.TotalBlocks == 0 {
+		return 0
+	}
+	return time.Duration(int64(r.TotalRecoveryTime) / r.TotalBlocks)
+}
+
+// FailureMix is the §2.2 distribution of concurrent missing-block
+// counts over affected stripes. Blocks in multi-failure stripes are
+// cheaper per block to recover: one joint decode serves every missing
+// block of the stripe.
+type FailureMix struct {
+	// Single, Double, TriplePlus are fractions of affected stripes with
+	// exactly 1, exactly 2, and 3 missing blocks. They must sum to 1.
+	Single, Double, TriplePlus float64
+}
+
+// PaperFailureMix returns the measured §2.2 distribution:
+// 98.08% / 1.87% / 0.05%.
+func PaperFailureMix() FailureMix {
+	return FailureMix{Single: 0.9808, Double: 0.0187, TriplePlus: 0.0005}
+}
+
+// SinglesOnlyMix attributes every recovery to a single-failure stripe —
+// the simpler model, and an upper bound on traffic.
+func SinglesOnlyMix() FailureMix {
+	return FailureMix{Single: 1}
+}
+
+// blockFractions converts the per-stripe mix into per-block fractions:
+// a double-failure stripe contributes two of the day's reconstructed
+// blocks.
+func (m FailureMix) blockFractions() (b1, b2, b3 float64) {
+	total := m.Single + 2*m.Double + 3*m.TriplePlus
+	if total <= 0 {
+		return 1, 0, 0
+	}
+	return m.Single / total, 2 * m.Double / total, 3 * m.TriplePlus / total
+}
+
+// Study costs a failure trace under one erasure code.
+type Study struct {
+	// Code provides repair plans; only plan geometry is used (no bytes
+	// are moved at cluster scale).
+	Code ec.Code
+	// Bandwidth converts plans into §3.2 recovery-time estimates.
+	Bandwidth cluster.BandwidthModel
+	// Mix apportions reconstructed blocks to single/double/triple
+	// failure stripes (§2.2). The zero value behaves as SinglesOnlyMix.
+	Mix FailureMix
+}
+
+// NewStudy builds a Study with the default 2013-era bandwidth model and
+// the paper's measured failure mix.
+func NewStudy(code ec.Code) *Study {
+	return &Study{Code: code, Bandwidth: cluster.DefaultBandwidthModel(), Mix: PaperFailureMix()}
+}
+
+// planScale captures, per stripe position, how a single-failure repair
+// plan scales with shard size: TotalBytes and MaxPerSource are both
+// linear in the (even) shard size, so costing 2.3 million block repairs
+// needs k+r plans, not 2.3 million.
+type planScale struct {
+	totalUnits int64 // plan.TotalBytes at shard size 2
+	maxUnits   int64 // plan.MaxPerSource at shard size 2
+}
+
+func buildPlanScales(code ec.Code) ([]planScale, error) {
+	scales := make([]planScale, code.TotalShards())
+	for idx := range scales {
+		plan, err := code.PlanRepair(idx, 2, ec.AllAliveExcept(idx))
+		if err != nil {
+			return nil, fmt.Errorf("sim: planning repair of shard %d: %w", idx, err)
+		}
+		scales[idx] = planScale{totalUnits: plan.TotalBytes(), maxUnits: plan.MaxPerSource()}
+	}
+	return scales, nil
+}
+
+// buildMultiScale averages the joint-repair plan geometry over sampled
+// distinct position sets of size m (position choice matters only for
+// locality-aware codes such as LRC).
+func buildMultiScale(code ec.Code, m int) (planScale, error) {
+	width := code.TotalShards()
+	rng := rand.New(rand.NewSource(int64(1000 + m)))
+	const samples = 64
+	var total, max float64
+	for s := 0; s < samples; s++ {
+		missing := rng.Perm(width)[:m]
+		plan, err := code.PlanMultiRepair(missing, 2, ec.AllAliveExcept(missing...))
+		if err != nil {
+			return planScale{}, fmt.Errorf("sim: planning joint repair of %v: %w", missing, err)
+		}
+		total += float64(plan.TotalBytes())
+		max += float64(plan.MaxPerSource())
+	}
+	return planScale{
+		totalUnits: int64(total/samples + 0.5),
+		maxUnits:   int64(max/samples + 0.5),
+	}, nil
+}
+
+// Run replays the trace and returns the study result. The trace is not
+// modified and may be shared across concurrent runs.
+func (s *Study) Run(tr *workload.Trace) (*Result, error) {
+	if s.Code == nil {
+		return nil, errors.New("sim: Study.Code is nil")
+	}
+	if tr == nil || len(tr.Days) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	scales, err := buildPlanScales(s.Code)
+	if err != nil {
+		return nil, err
+	}
+	mix := s.Mix
+	if mix.Single == 0 && mix.Double == 0 && mix.TriplePlus == 0 {
+		mix = SinglesOnlyMix()
+	}
+	_, b2, b3 := mix.blockFractions()
+	var double, triple planScale
+	if b2 > 0 {
+		if double, err = buildMultiScale(s.Code, 2); err != nil {
+			return nil, err
+		}
+	}
+	if b3 > 0 {
+		if triple, err = buildMultiScale(s.Code, 3); err != nil {
+			return nil, err
+		}
+	}
+
+	width := s.Code.TotalShards()
+	res := &Result{CodeName: s.Code.Name(), Days: make([]DayStats, len(tr.Days))}
+	// Reservoir sampling (algorithm R) of per-block recovery times,
+	// seeded from the trace for determinism.
+	const reservoirSize = 10000
+	reservoir := make([]float64, 0, reservoirSize)
+	resRng := rand.New(rand.NewSource(tr.Config.Seed ^ 0x5ca1ab1e))
+	var seen int64
+	// Bresenham-style accumulators assign every ~27th block to a double
+	// pair and every ~680th to a triple, deterministically and
+	// identically across codes.
+	var acc2, acc3 float64
+	for i, day := range tr.Days {
+		ds := DayStats{
+			Day:                 day.Index,
+			UnavailableMachines: day.Unavailable,
+			TriggeredEvents:     len(day.Triggered),
+		}
+		var dayRecovery float64
+		for _, ev := range day.Triggered {
+			ev.ReplayBlocks(tr.Config, width, func(d workload.BlockDraw) {
+				// Pick the block's failure category.
+				sc := scales[d.StripePos]
+				share := int64(1)
+				acc2 += b2
+				acc3 += b3
+				switch {
+				case acc3 >= 1:
+					acc3--
+					sc, share = triple, 3
+				case acc2 >= 1:
+					acc2--
+					sc, share = double, 2
+				}
+				// Shard sizes are even; units are per 2 bytes. Joint
+				// repairs split their cost across the stripe's missing
+				// blocks.
+				bytes := sc.totalUnits * d.Bytes / 2 / share
+				maxSrc := sc.maxUnits * d.Bytes / 2 / share
+				ds.BlocksReconstructed++
+				ds.CrossRackBytes += bytes
+				secs := s.Bandwidth.RecoveryTime(bytes, maxSrc).Seconds()
+				dayRecovery += secs
+				seen++
+				if len(reservoir) < reservoirSize {
+					reservoir = append(reservoir, secs)
+				} else if j := resRng.Int63n(seen); j < reservoirSize {
+					reservoir[j] = secs
+				}
+			})
+		}
+		ds.RecoveryTime = time.Duration(dayRecovery * float64(time.Second))
+		res.Days[i] = ds
+		res.TotalBlocks += int64(ds.BlocksReconstructed)
+		res.TotalCrossRackBytes += ds.CrossRackBytes
+		res.TotalRecoveryTime += ds.RecoveryTime
+	}
+
+	unavailable := make([]float64, len(res.Days))
+	blocks := make([]float64, len(res.Days))
+	bytes := make([]float64, len(res.Days))
+	for i, d := range res.Days {
+		unavailable[i] = float64(d.UnavailableMachines)
+		blocks[i] = float64(d.BlocksReconstructed)
+		bytes[i] = float64(d.CrossRackBytes)
+	}
+	res.MedianUnavailable = stats.Median(unavailable)
+	res.MedianBlocksPerDay = stats.Median(blocks)
+	res.MedianCrossRackBytes = stats.Median(bytes)
+	res.RecoveryTimeSamples = reservoir
+	return res, nil
+}
+
+// Comparison holds the head-to-head §3.2 projection of two codes costed
+// on the identical trace.
+type Comparison struct {
+	Baseline  *Result
+	Candidate *Result
+}
+
+// Compare runs both studies over the same trace.
+func Compare(baseline, candidate ec.Code, tr *workload.Trace) (*Comparison, error) {
+	b, err := NewStudy(baseline).Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewStudy(candidate).Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Baseline: b, Candidate: c}, nil
+}
+
+// DailySavingsBytes returns the mean cross-rack bytes per day the
+// candidate saves over the baseline.
+func (c *Comparison) DailySavingsBytes() float64 {
+	return c.Baseline.MeanCrossRackBytesPerDay() - c.Candidate.MeanCrossRackBytesPerDay()
+}
+
+// SavingsFraction returns the relative reduction in total cross-rack
+// traffic.
+func (c *Comparison) SavingsFraction() float64 {
+	if c.Baseline.TotalCrossRackBytes == 0 {
+		return 0
+	}
+	return 1 - float64(c.Candidate.TotalCrossRackBytes)/float64(c.Baseline.TotalCrossRackBytes)
+}
+
+// StripeFailureConfig parameterises the §2.2 stripe-failure-distribution
+// measurement: how many blocks of an affected stripe are missing
+// concurrently.
+type StripeFailureConfig struct {
+	// Stripes is the number of stripes examined per window.
+	Stripes int
+	// StripeWidth is k+r (14 for the production code).
+	StripeWidth int
+	// DownFraction is the fraction of machines concurrently unavailable
+	// within one repair window. The paper's 98.08% single-failure share
+	// corresponds to roughly 0.3% of machines being down at once.
+	DownFraction float64
+	// Windows is the number of independent observation windows (the
+	// paper aggregates 6 months).
+	Windows int
+	// Seed drives the randomness.
+	Seed int64
+}
+
+// DefaultStripeFailureConfig returns the calibration reproducing §2.2.
+func DefaultStripeFailureConfig() StripeFailureConfig {
+	return StripeFailureConfig{
+		Stripes:      200000,
+		StripeWidth:  14,
+		DownFraction: 0.003,
+		Windows:      10,
+		Seed:         1,
+	}
+}
+
+// Distribution is the measured §2.2 result over affected stripes.
+type Distribution struct {
+	// CountByMissing[m] is the number of affected stripes observed with
+	// exactly m blocks missing.
+	CountByMissing map[int]int
+	// TotalAffected is the number of stripes with at least one block
+	// missing.
+	TotalAffected int
+}
+
+// Fraction returns the share of affected stripes with exactly m missing
+// blocks.
+func (d *Distribution) Fraction(m int) float64 {
+	if d.TotalAffected == 0 {
+		return 0
+	}
+	return float64(d.CountByMissing[m]) / float64(d.TotalAffected)
+}
+
+// FractionAtLeast returns the share of affected stripes with >= m
+// missing blocks.
+func (d *Distribution) FractionAtLeast(m int) float64 {
+	if d.TotalAffected == 0 {
+		return 0
+	}
+	n := 0
+	for miss, count := range d.CountByMissing {
+		if miss >= m {
+			n += count
+		}
+	}
+	return float64(n) / float64(d.TotalAffected)
+}
+
+// MissingBlockDistribution simulates stripes whose blocks sit on
+// distinct machines, each machine independently unavailable with
+// probability DownFraction per window, and reports the distribution of
+// missing-block counts among affected stripes.
+func MissingBlockDistribution(cfg StripeFailureConfig) (*Distribution, error) {
+	if cfg.Stripes <= 0 || cfg.Windows <= 0 {
+		return nil, errors.New("sim: Stripes and Windows must be positive")
+	}
+	if cfg.StripeWidth <= 0 {
+		return nil, errors.New("sim: StripeWidth must be positive")
+	}
+	if cfg.DownFraction < 0 || cfg.DownFraction > 1 {
+		return nil, errors.New("sim: DownFraction must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dist := &Distribution{CountByMissing: make(map[int]int)}
+	for w := 0; w < cfg.Windows; w++ {
+		for s := 0; s < cfg.Stripes; s++ {
+			missing := 0
+			for b := 0; b < cfg.StripeWidth; b++ {
+				if rng.Float64() < cfg.DownFraction {
+					missing++
+				}
+			}
+			if missing > 0 {
+				dist.CountByMissing[missing]++
+				dist.TotalAffected++
+			}
+		}
+	}
+	return dist, nil
+}

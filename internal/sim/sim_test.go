@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func testTrace(t *testing.T, days int) *workload.Trace {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Days = days
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStudyRunValidation(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	if _, err := (&Study{}).Run(testTrace(t, 2)); err == nil {
+		t.Fatal("nil code accepted")
+	}
+	if _, err := NewStudy(rsc).Run(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := NewStudy(rsc).Run(&workload.Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestFig3bReproductionRS(t *testing.T) {
+	// The headline measurement: under (10,4) RS the calibrated trace
+	// must land near the paper's medians — ~95,500 blocks reconstructed
+	// and >180 TB cross-rack per day (median), with day totals in the
+	// 50-250 TB band of Fig. 3b.
+	rsc, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 96) // longer than the paper's 24 days for stability
+	res, err := NewStudy(rsc).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianBlocksPerDay < 60000 || res.MedianBlocksPerDay > 130000 {
+		t.Fatalf("median blocks/day %v, want near 95,500", res.MedianBlocksPerDay)
+	}
+	medTB := res.MedianCrossRackBytes / float64(stats.TB)
+	if medTB < 130 || medTB > 260 {
+		t.Fatalf("median cross-rack %v TB/day, want near 180", medTB)
+	}
+	if res.MedianUnavailable < 50 {
+		t.Fatalf("median unavailable %v, want > 50 (Fig. 3a)", res.MedianUnavailable)
+	}
+	if res.TotalBlocks <= 0 || res.TotalCrossRackBytes <= 0 {
+		t.Fatal("zero totals")
+	}
+}
+
+func TestRSCostIsExactlyTenBlocks(t *testing.T) {
+	// With every failure attributed to a single-failure stripe, RS
+	// downloads exactly k x blocksize per reconstruction, so
+	// bytes/blocks must equal 10 x mean block size within sampling noise.
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 24)
+	study := NewStudy(rsc)
+	study.Mix = SinglesOnlyMix()
+	res, err := study.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBlock := float64(res.TotalCrossRackBytes) / float64(res.TotalBlocks)
+	want := 10 * tr.Config.MeanBlockBytes()
+	if math.Abs(perBlock-want)/want > 0.02 {
+		t.Fatalf("per-block download %v, want ~%v", perBlock, want)
+	}
+}
+
+func TestPiggybackedSavingsProjection(t *testing.T) {
+	// §3.2: replacing RS with Piggybacked-RS on the measured cluster
+	// saves tens of TB of cross-rack traffic per day. With failures
+	// uniform over the 14 stripe positions the expected saving is
+	// 1 - 0.764 = 23.6% of ~190 TB/day ≈ 45 TB/day.
+	rsc, _ := rs.New(10, 4)
+	pb, err := core.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 48)
+	cmp, err := Compare(rsc, pb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical trace: block counts must match exactly.
+	if cmp.Baseline.TotalBlocks != cmp.Candidate.TotalBlocks {
+		t.Fatalf("block counts diverge: %d vs %d", cmp.Baseline.TotalBlocks, cmp.Candidate.TotalBlocks)
+	}
+	frac := cmp.SavingsFraction()
+	want := 1 - pb.AverageRepairFraction()
+	if math.Abs(frac-want) > 0.01 {
+		t.Fatalf("savings fraction %v, want ~%v (average repair fraction)", frac, want)
+	}
+	savedTBPerDay := cmp.DailySavingsBytes() / float64(stats.TB)
+	if savedTBPerDay < 30 || savedTBPerDay > 80 {
+		t.Fatalf("daily savings %v TB, want tens of TB (paper: close to 50)", savedTBPerDay)
+	}
+}
+
+func TestRecoveryTimeLowerForPiggyback(t *testing.T) {
+	// §3.2: the piggybacked code contacts more helpers but moves fewer
+	// bytes, and recovery is bandwidth-bound, so its estimated recovery
+	// time must be strictly lower.
+	rsc, _ := rs.New(10, 4)
+	pb, _ := core.New(10, 4)
+	tr := testTrace(t, 12)
+	cmp, err := Compare(rsc, pb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Candidate.MeanRecoveryTimePerBlock() >= cmp.Baseline.MeanRecoveryTimePerBlock() {
+		t.Fatalf("piggybacked per-block recovery %v not below RS %v",
+			cmp.Candidate.MeanRecoveryTimePerBlock(), cmp.Baseline.MeanRecoveryTimePerBlock())
+	}
+}
+
+func TestRecoveryTimePercentiles(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	pb, _ := core.New(10, 4)
+	tr := testTrace(t, 12)
+	cmp, err := Compare(rsc, pb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{cmp.Baseline, cmp.Candidate} {
+		if len(res.RecoveryTimeSamples) == 0 {
+			t.Fatalf("%s: no recovery-time samples", res.CodeName)
+		}
+		p50 := res.RecoveryTimePercentile(50)
+		p99 := res.RecoveryTimePercentile(99)
+		if p50 <= 0 || p99 < p50 {
+			t.Fatalf("%s: implausible percentiles P50=%v P99=%v", res.CodeName, p50, p99)
+		}
+	}
+	// The piggybacked code must be faster at the median too, not just
+	// on average.
+	if cmp.Candidate.RecoveryTimePercentile(50) >= cmp.Baseline.RecoveryTimePercentile(50) {
+		t.Fatalf("piggybacked P50 %v not below RS P50 %v",
+			cmp.Candidate.RecoveryTimePercentile(50), cmp.Baseline.RecoveryTimePercentile(50))
+	}
+	empty := &Result{}
+	if empty.RecoveryTimePercentile(50) != 0 {
+		t.Fatal("empty result must report zero percentile")
+	}
+}
+
+func TestLRCSavesMoreBandwidthButMoreStorage(t *testing.T) {
+	// §5: LRC repairs even cheaper than Piggybacked-RS but pays 1.6x
+	// storage. The simulator must show the bandwidth ordering.
+	rsc, _ := rs.New(10, 4)
+	pb, _ := core.New(10, 4)
+	lc, err := lrc.New(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 12)
+	rsRes, _ := NewStudy(rsc).Run(tr)
+	pbRes, _ := NewStudy(pb).Run(tr)
+	lcRes, err := NewStudy(lc).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lcRes.TotalCrossRackBytes < pbRes.TotalCrossRackBytes && pbRes.TotalCrossRackBytes < rsRes.TotalCrossRackBytes) {
+		t.Fatalf("bandwidth ordering violated: lrc=%d pb=%d rs=%d",
+			lcRes.TotalCrossRackBytes, pbRes.TotalCrossRackBytes, rsRes.TotalCrossRackBytes)
+	}
+	if !(lc.StorageOverhead() > pb.StorageOverhead()) {
+		t.Fatal("LRC must cost more storage than Piggybacked-RS")
+	}
+}
+
+func TestFailureMixBlockFractions(t *testing.T) {
+	b1, b2, b3 := PaperFailureMix().blockFractions()
+	// Per-stripe 0.9808/0.0187/0.0005 weights blocks by stripe size:
+	// denominator 0.9808 + 2*0.0187 + 3*0.0005 = 1.0197.
+	if math.Abs(b1-0.9808/1.0197) > 1e-9 || math.Abs(b2-0.0374/1.0197) > 1e-9 || math.Abs(b3-0.0015/1.0197) > 1e-9 {
+		t.Fatalf("block fractions (%v, %v, %v) wrong", b1, b2, b3)
+	}
+	if math.Abs(b1+b2+b3-1) > 1e-9 {
+		t.Fatal("fractions must sum to 1")
+	}
+	// Degenerate mix behaves as singles-only.
+	b1, b2, b3 = (FailureMix{}).blockFractions()
+	if b1 != 1 || b2 != 0 || b3 != 0 {
+		t.Fatal("zero mix must reduce to singles")
+	}
+}
+
+func TestMixReducesTrafficViaJointRepairs(t *testing.T) {
+	// Attributing some blocks to double/triple stripes must reduce RS
+	// traffic: a joint decode shares k downloads among the stripe's
+	// missing blocks. The expected factor for RS is
+	// b1 + b2/2 + b3/3 over the singles-only baseline.
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 24)
+	singles := &Study{Code: rsc, Mix: SinglesOnlyMix()}
+	mixed := &Study{Code: rsc, Mix: PaperFailureMix()}
+	sRes, err := singles.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRes, err := mixed.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mRes.TotalBlocks != sRes.TotalBlocks {
+		t.Fatal("mix must not change block counts")
+	}
+	b1, b2, b3 := PaperFailureMix().blockFractions()
+	wantFactor := b1 + b2/2 + b3/3
+	gotFactor := float64(mRes.TotalCrossRackBytes) / float64(sRes.TotalCrossRackBytes)
+	if math.Abs(gotFactor-wantFactor) > 0.005 {
+		t.Fatalf("mixed/singles traffic factor %v, want ~%v", gotFactor, wantFactor)
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	pb, _ := core.New(10, 4)
+	tr := testTrace(t, 6)
+	a, err := NewStudy(pb).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStudy(pb).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCrossRackBytes != b.TotalCrossRackBytes || a.TotalBlocks != b.TotalBlocks {
+		t.Fatal("same trace, same code, different result")
+	}
+	for i := range a.Days {
+		if a.Days[i] != b.Days[i] {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+}
+
+func TestMissingBlockDistributionReproducesPaper(t *testing.T) {
+	// §2.2 item 2: 98.08% of affected stripes have exactly one missing
+	// block, 1.87% two, 0.05% three or more.
+	dist, err := MissingBlockDistribution(DefaultStripeFailureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := dist.Fraction(1)
+	two := dist.Fraction(2)
+	threePlus := dist.FractionAtLeast(3)
+	if one < 0.97 || one > 0.99 {
+		t.Fatalf("single-failure share %.4f, want ~0.9808", one)
+	}
+	if two < 0.01 || two > 0.03 {
+		t.Fatalf("double-failure share %.4f, want ~0.0187", two)
+	}
+	if threePlus > 0.002 {
+		t.Fatalf("triple-plus share %.4f, want ~0.0005", threePlus)
+	}
+	// Shares must sum to 1 over affected stripes.
+	if sum := one + two + threePlus; math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestMissingBlockDistributionValidation(t *testing.T) {
+	bad := []StripeFailureConfig{
+		{Stripes: 0, StripeWidth: 14, Windows: 1},
+		{Stripes: 1, StripeWidth: 0, Windows: 1},
+		{Stripes: 1, StripeWidth: 14, Windows: 0},
+		{Stripes: 1, StripeWidth: 14, Windows: 1, DownFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := MissingBlockDistribution(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDistributionEmptyFractions(t *testing.T) {
+	d := &Distribution{CountByMissing: map[int]int{}}
+	if d.Fraction(1) != 0 || d.FractionAtLeast(1) != 0 {
+		t.Fatal("empty distribution must report zero fractions")
+	}
+}
+
+func TestComparisonHelpersZeroBaseline(t *testing.T) {
+	c := &Comparison{Baseline: &Result{}, Candidate: &Result{}}
+	if c.SavingsFraction() != 0 {
+		t.Fatal("zero baseline must yield zero savings fraction")
+	}
+}
+
+func TestMeanRecoveryTimePerBlockZeroBlocks(t *testing.T) {
+	r := &Result{}
+	if r.MeanRecoveryTimePerBlock() != 0 {
+		t.Fatal("zero blocks must yield zero mean recovery time")
+	}
+	if r.MeanCrossRackBytesPerDay() != 0 {
+		t.Fatal("no days must yield zero mean bytes")
+	}
+}

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.Machines = 0 },
+		func(c *Config) { c.BaseEventsPerDay = -1 },
+		func(c *Config) { c.IncidentProb = 1.5 },
+		func(c *Config) { c.IncidentMax = c.IncidentMin - 1 },
+		func(c *Config) { c.TriggerProb = -0.1 },
+		func(c *Config) { c.IncidentTriggerProb = 1.1 },
+		func(c *Config) { c.BlocksPerTriggerMedian = 0 },
+		func(c *Config) { c.BlocksPerTriggerSigma = -1 },
+		func(c *Config) { c.MaxBlocksPerMachine = 0 },
+		func(c *Config) { c.BlockBytes = 0 },
+		func(c *Config) { c.BlockBytes = 255 },
+		func(c *Config) { c.FullBlockProb = 2 },
+		func(c *Config) { c.MinBlockBytes = 0 },
+		func(c *Config) { c.MinBlockBytes = c.BlockBytes + 1 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Days) != len(b.Days) {
+		t.Fatal("different lengths")
+	}
+	for i := range a.Days {
+		if a.Days[i].Unavailable != b.Days[i].Unavailable {
+			t.Fatalf("day %d: unavailable differs", i)
+		}
+		if len(a.Days[i].Triggered) != len(b.Days[i].Triggered) {
+			t.Fatalf("day %d: triggered differs", i)
+		}
+		for j := range a.Days[i].Triggered {
+			if a.Days[i].Triggered[j] != b.Days[i].Triggered[j] {
+				t.Fatalf("day %d event %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	same := true
+	for i := range a.Days {
+		if a.Days[i].Unavailable != b.Days[i].Unavailable {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical unavailability series")
+	}
+}
+
+func TestFig3aCalibration(t *testing.T) {
+	// Fig. 3a: median > 50 unavailability events/day, max spikes into
+	// the hundreds. Use a long trace so medians are stable.
+	cfg := DefaultConfig()
+	cfg.Days = 365
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := stats.IntsToFloats(tr.UnavailableSeries())
+	med := stats.Median(series)
+	if med < 50 || med > 80 {
+		t.Fatalf("median unavailability %v, want in [50, 80] (paper: >50)", med)
+	}
+	if stats.Max(series) < 100 {
+		t.Fatalf("max unavailability %v: incident spikes missing (paper shows ~350)", stats.Max(series))
+	}
+}
+
+func TestFig3bBlockCalibration(t *testing.T) {
+	// Fig. 3b: ~95,500 blocks reconstructed per day at the median.
+	cfg := DefaultConfig()
+	cfg.Days = 365
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(stats.IntsToFloats(tr.BlocksLostSeries()))
+	if med < 60000 || med > 130000 {
+		t.Fatalf("median blocks/day %v, want near 95,500", med)
+	}
+}
+
+func TestMeanBlockBytesCalibration(t *testing.T) {
+	// 180 TB/day over 95,500 blocks x 10 downloads pins the mean block
+	// near 198 MB.
+	mean := DefaultConfig().MeanBlockBytes()
+	if mean < 190e6 || mean > 225e6 {
+		t.Fatalf("mean block bytes %v outside the calibrated band", mean)
+	}
+}
+
+func TestReplayBlocksDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	ev := TriggeredEvent{Machine: 7, BlocksLost: 100, SizeSeed: 42}
+	var a, b []BlockDraw
+	ev.ReplayBlocks(cfg, 14, func(d BlockDraw) { a = append(a, d) })
+	ev.ReplayBlocks(cfg, 14, func(d BlockDraw) { b = append(b, d) })
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("replay produced %d/%d draws, want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between replays", i)
+		}
+	}
+}
+
+func TestReplayBlocksProperties(t *testing.T) {
+	cfg := DefaultConfig()
+	ev := TriggeredEvent{BlocksLost: 5000, SizeSeed: 99}
+	posSeen := make(map[int]int)
+	var sizes []float64
+	ev.ReplayBlocks(cfg, 14, func(d BlockDraw) {
+		if d.Bytes%2 != 0 {
+			t.Fatalf("odd block size %d", d.Bytes)
+		}
+		if d.Bytes < cfg.MinBlockBytes-1 || d.Bytes > cfg.BlockBytes {
+			t.Fatalf("block size %d outside [%d, %d]", d.Bytes, cfg.MinBlockBytes, cfg.BlockBytes)
+		}
+		if d.StripePos < 0 || d.StripePos >= 14 {
+			t.Fatalf("stripe position %d outside [0, 14)", d.StripePos)
+		}
+		posSeen[d.StripePos]++
+		sizes = append(sizes, float64(d.Bytes))
+	})
+	if len(posSeen) != 14 {
+		t.Fatalf("stripe positions cover %d values, want all 14", len(posSeen))
+	}
+	mean := stats.Mean(sizes)
+	want := cfg.MeanBlockBytes()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("empirical mean block size %v, want within 5%% of %v", mean, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 3
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != tr.Config {
+		t.Fatal("config did not round-trip")
+	}
+	if len(got.Days) != len(tr.Days) {
+		t.Fatal("days did not round-trip")
+	}
+	for i := range tr.Days {
+		if got.Days[i].Unavailable != tr.Days[i].Unavailable {
+			t.Fatalf("day %d unavailable mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"config":{"days":0},"days":[]}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"config":` + mustConfigJSON(t) + `,"days":[]}`)); err == nil {
+		t.Fatal("day count mismatch accepted")
+	}
+}
+
+func mustConfigJSON(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	tr := &Trace{Config: cfg, Days: make([]Day, 2)}
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	start := strings.Index(s, `"config": `) + len(`"config": `)
+	end := strings.Index(s, `"days"`)
+	return strings.TrimSuffix(strings.TrimSpace(s[start:end]), ",")
+}
+
+func TestWriteDailyCSV(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	tr, _ := Generate(cfg)
+	var buf bytes.Buffer
+	if err := tr.WriteDailyCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 days", len(lines))
+	}
+	if lines[0] != "day,unavailable,triggered,blocks_lost" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}
+
+func TestTriggeredFractionMatchesProbability(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 200
+	cfg.IncidentProb = 0 // isolate the base-event trigger probability
+	tr, _ := Generate(cfg)
+	events, triggered := 0, 0
+	for _, d := range tr.Days {
+		events += d.Unavailable
+		triggered += len(d.Triggered)
+	}
+	frac := float64(triggered) / float64(events)
+	if math.Abs(frac-cfg.TriggerProb) > 0.05 {
+		t.Fatalf("triggered fraction %v, want near %v", frac, cfg.TriggerProb)
+	}
+}
+
+func TestTraceFromDailyCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	unavailable := []int{10, 20, 30}
+	blocks := []int{100, 0, 300}
+	tr, err := TraceFromDailyCounts(cfg, unavailable, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Days) != 3 {
+		t.Fatalf("got %d days", len(tr.Days))
+	}
+	for d := range unavailable {
+		if tr.Days[d].Unavailable != unavailable[d] {
+			t.Fatalf("day %d unavailable %d, want %d", d, tr.Days[d].Unavailable, unavailable[d])
+		}
+		if got := tr.Days[d].BlocksLost(); got != blocks[d] {
+			t.Fatalf("day %d blocks %d, want %d", d, got, blocks[d])
+		}
+	}
+	if len(tr.Days[1].Triggered) != 0 {
+		t.Fatal("zero-block day must have no triggered events")
+	}
+	// Replay must be deterministic and produce the requested counts.
+	n := 0
+	tr.Days[0].Triggered[0].ReplayBlocks(cfg, 14, func(BlockDraw) { n++ })
+	if n != 100 {
+		t.Fatalf("replay produced %d draws, want 100", n)
+	}
+}
+
+func TestTraceFromDailyCountsValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := TraceFromDailyCounts(cfg, []int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := TraceFromDailyCounts(cfg, nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := TraceFromDailyCounts(cfg, []int{-1}, []int{1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := newTestRand(7)
+	const lambda = 52.0
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := float64(poisson(rng, lambda))
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-lambda) > 1 {
+		t.Fatalf("poisson mean %v, want ~%v", mean, lambda)
+	}
+	if math.Abs(variance-lambda)/lambda > 0.1 {
+		t.Fatalf("poisson variance %v, want ~%v", variance, lambda)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -3) != 0 {
+		t.Fatal("non-positive lambda must yield 0")
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	rng := newTestRand(8)
+	const median, sigma = 5000.0, 0.6
+	const n = 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(lognormalInt(rng, median, sigma))
+	}
+	med := stats.Median(samples)
+	if math.Abs(med-median)/median > 0.05 {
+		t.Fatalf("lognormal median %v, want within 5%% of %v", med, median)
+	}
+}

@@ -1,0 +1,356 @@
+// Package repro is the public API of a full reproduction of
+// "A Solution to the Network Challenges of Data Recovery in
+// Erasure-coded Distributed Storage Systems: A Study on the Facebook
+// Warehouse Cluster" (Rashmi et al., HotStorage 2013).
+//
+// The package exposes three layers:
+//
+//   - Codecs: NewRS (the production baseline), NewPiggybackedRS (the
+//     paper's contribution — same storage, same fault tolerance, ~30%
+//     cheaper single-block recovery) and NewLRC (the §5 related-work
+//     baseline). All satisfy the Codec interface, including repair
+//     planning (which byte ranges a recovery reads) and repair
+//     execution over a caller-supplied fetch function.
+//
+//   - The measurement study: GenerateTrace builds a failure trace
+//     calibrated to the paper's published statistics, RunStudy costs it
+//     under a codec (Fig. 3a, Fig. 3b), CompareCodecs reproduces the
+//     §3.2 projection ("close to fifty terabytes per day"), and
+//     MissingBlockDistribution reproduces the §2.2 single-failure
+//     dominance (98.08% / 1.87% / 0.05%).
+//
+//   - Substrates: NewMiniHDFS builds an in-process HDFS + HDFS-RAID
+//     model with rack-aware placement, a RaidNode, a BlockFixer, and
+//     degraded reads, all charging cross-rack traffic to a switch-level
+//     network model; MTTDLYears implements the §3.2 reliability
+//     analysis.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/hdfs"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/regenerating"
+	"repro/internal/reliability"
+	"repro/internal/rs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Codec is the contract every erasure code implements: encode, verify,
+// reconstruct, and plan/execute single-shard repairs.
+type Codec = ec.Code
+
+// ReadRequest identifies one byte range of one surviving shard that a
+// repair reads.
+type ReadRequest = ec.ReadRequest
+
+// RepairPlan lists every read a single-shard repair performs; its
+// TotalBytes is the cross-rack traffic the paper measures.
+type RepairPlan = ec.RepairPlan
+
+// FetchFunc retrieves one planned byte range from a surviving shard.
+type FetchFunc = ec.FetchFunc
+
+// AliveFunc reports shard availability to the repair planner.
+type AliveFunc = ec.AliveFunc
+
+// RS is the systematic Reed-Solomon codec (the deployed baseline).
+type RS = rs.Code
+
+// PiggybackedRS is the paper's proposed code.
+type PiggybackedRS = core.Code
+
+// LRC is the locally repairable baseline from the related work.
+type LRC = lrc.Code
+
+// Sentinel errors shared by all codecs.
+var (
+	ErrShardCount   = ec.ErrShardCount
+	ErrShardSize    = ec.ErrShardSize
+	ErrTooFewShards = ec.ErrTooFewShards
+	ErrShardIndex   = ec.ErrShardIndex
+	ErrShardPresent = ec.ErrShardPresent
+)
+
+// NewRS returns a systematic (k, r) Reed-Solomon codec. The Facebook
+// warehouse cluster runs NewRS(10, 4).
+func NewRS(k, r int) (*RS, error) { return rs.New(k, r) }
+
+// NewPiggybackedRS returns a (k, r) Piggybacked-RS codec with the
+// savings-maximising default grouping (sizes {4,3,3} for (10,4)).
+func NewPiggybackedRS(k, r int) (*PiggybackedRS, error) { return core.New(k, r) }
+
+// NewPiggybackedRSWithGroups returns a (k, r) Piggybacked-RS codec with
+// an explicit piggyback group assignment (at most r-1 disjoint groups of
+// data shard indices).
+func NewPiggybackedRSWithGroups(k, r int, groups [][]int) (*PiggybackedRS, error) {
+	return core.New(k, r, core.WithGroups(groups))
+}
+
+// NewLRC returns a (k, r, locals) locally repairable codec: r global RS
+// parities plus one XOR parity per local group. The HDFS-Xorbas
+// configuration is NewLRC(10, 4, 2).
+func NewLRC(k, r, locals int) (*LRC, error) { return lrc.New(k, r, locals) }
+
+// AllAliveExcept returns an AliveFunc with the listed shards down.
+func AllAliveExcept(down ...int) AliveFunc { return ec.AllAliveExcept(down...) }
+
+// RepairFraction reports each shard's single-failure repair download as
+// a fraction of the RS baseline (k shards), plus the uniform average —
+// the quantity behind the paper's "~30% savings" claim.
+func RepairFraction(c Codec, shardSize int64) (perShard []float64, average float64, err error) {
+	return ec.RepairFraction(c, shardSize)
+}
+
+// SplitShards splits data into k equal shards padded to a multiple of
+// align (use the codec's MinShardSize), returning the shards extended
+// with r nil parity slots, ready for Codec.Encode. PaddedLen records the
+// per-shard size; JoinShards inverts the operation.
+func SplitShards(data []byte, k, r, align int) ([][]byte, error) {
+	if k < 1 || r < 0 {
+		return nil, fmt.Errorf("repro: invalid shard counts k=%d r=%d", k, r)
+	}
+	if align < 1 {
+		return nil, fmt.Errorf("repro: invalid alignment %d", align)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("repro: empty input")
+	}
+	per := (len(data) + k - 1) / k
+	if rem := per % align; rem != 0 {
+		per += align - rem
+	}
+	shards := make([][]byte, k+r)
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, per)
+		lo := i * per
+		if lo < len(data) {
+			hi := lo + per
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(shards[i], data[lo:hi])
+		}
+	}
+	return shards, nil
+}
+
+// JoinShards reassembles the original data of the given length from the
+// k data shards produced by SplitShards.
+func JoinShards(shards [][]byte, k, length int) ([]byte, error) {
+	if k < 1 || k > len(shards) {
+		return nil, fmt.Errorf("repro: invalid k=%d for %d shards", k, len(shards))
+	}
+	out := make([]byte, 0, length)
+	for i := 0; i < k && len(out) < length; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("repro: data shard %d missing", i)
+		}
+		need := length - len(out)
+		if need > len(shards[i]) {
+			need = len(shards[i])
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	if len(out) != length {
+		return nil, fmt.Errorf("repro: shards hold %d bytes, need %d", len(out), length)
+	}
+	return out, nil
+}
+
+// --- Measurement study -----------------------------------------------
+
+// TraceConfig parameterises failure-trace generation; see
+// DefaultTraceConfig for the paper-calibrated values.
+type TraceConfig = workload.Config
+
+// Trace is a generated multi-day failure trace.
+type Trace = workload.Trace
+
+// StudyResult is the outcome of costing a trace under one codec: the
+// Fig. 3a and Fig. 3b day series with their medians.
+type StudyResult = sim.Result
+
+// Comparison is a head-to-head costing of two codecs on one trace.
+type Comparison = sim.Comparison
+
+// DefaultTraceConfig returns the configuration calibrated to the
+// paper's published statistics (median 55 events/day, 95,500 blocks/day,
+// >180 TB/day under (10,4) RS).
+func DefaultTraceConfig() TraceConfig { return workload.DefaultConfig() }
+
+// GenerateTrace builds a deterministic failure trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return workload.Generate(cfg) }
+
+// RunStudy costs the trace under the codec, reproducing the Fig. 3
+// measurements for that code.
+func RunStudy(c Codec, tr *Trace) (*StudyResult, error) { return sim.NewStudy(c).Run(tr) }
+
+// CompareCodecs costs the same trace under a baseline and a candidate —
+// the §3.2 projection when called with RS and Piggybacked-RS.
+func CompareCodecs(baseline, candidate Codec, tr *Trace) (*Comparison, error) {
+	return sim.Compare(baseline, candidate, tr)
+}
+
+// FailureMix apportions recoveries to single/double/triple-failure
+// stripes (§2.2).
+type FailureMix = sim.FailureMix
+
+// PaperFailureMix returns the measured §2.2 mix (98.08%/1.87%/0.05%).
+func PaperFailureMix() FailureMix { return sim.PaperFailureMix() }
+
+// BacklogResult is the outcome of throttled recovery queueing over a
+// study result.
+type BacklogResult = sim.BacklogResult
+
+// RecoveryBacklog runs a day-granularity fluid queue over a study
+// result with a daily recovery-bandwidth budget, modelling the §2.2
+// contention between recovery and foreground map-reduce traffic.
+func RecoveryBacklog(res *StudyResult, budgetBytesPerDay int64) (*BacklogResult, error) {
+	return sim.RecoveryBacklog(res, budgetBytesPerDay)
+}
+
+// StripeFailureConfig parameterises the §2.2 concurrent-failure
+// measurement.
+type StripeFailureConfig = sim.StripeFailureConfig
+
+// FailureDistribution is the §2.2 result: the distribution of
+// missing-block counts over affected stripes.
+type FailureDistribution = sim.Distribution
+
+// DefaultStripeFailureConfig returns the calibration reproducing the
+// paper's 98.08% / 1.87% / 0.05% split.
+func DefaultStripeFailureConfig() StripeFailureConfig { return sim.DefaultStripeFailureConfig() }
+
+// MissingBlockDistribution measures how many blocks of an affected
+// stripe are missing concurrently.
+func MissingBlockDistribution(cfg StripeFailureConfig) (*FailureDistribution, error) {
+	return sim.MissingBlockDistribution(cfg)
+}
+
+// --- Reliability (§3.2) ----------------------------------------------
+
+// ReliabilitySystem describes one redundancy scheme for the MTTDL model.
+type ReliabilitySystem = reliability.System
+
+// ReliabilityParams are the failure/repair rates of the MTTDL model.
+type ReliabilityParams = reliability.Params
+
+// ReplicationSystem models n-way replication for the MTTDL comparison.
+func ReplicationSystem(replicas int, blockBytes float64) (ReliabilitySystem, error) {
+	return reliability.ReplicationSystem(replicas, blockBytes)
+}
+
+// CodeSystem models an erasure codec for the MTTDL comparison, with
+// repair rate derived from the codec's own repair plans.
+func CodeSystem(c Codec, blockBytes float64) (ReliabilitySystem, error) {
+	return reliability.CodeSystem(c, blockBytes)
+}
+
+// DefaultReliabilityParams returns rates typical of the measured
+// cluster.
+func DefaultReliabilityParams() ReliabilityParams { return reliability.DefaultParams() }
+
+// MTTDLYears returns the mean time to data loss, in years, of a stripe
+// under the given system and rates.
+func MTTDLYears(sys ReliabilitySystem, p ReliabilityParams) (float64, error) {
+	return reliability.MTTDLYears(sys, p)
+}
+
+// --- On-disk substripe layout (§4 / Hitchhiker's hop-and-couple) --------
+
+// LayoutKind selects how the two substripes of a piggybacked block are
+// placed on disk.
+type LayoutKind = layout.Kind
+
+// Layout kinds: Coupled keeps each substripe contiguous (half-shard
+// repair reads are single ranges); Interleaved alternates bytes and
+// amplifies half-reads to whole blocks.
+const (
+	LayoutCoupled     = layout.Coupled
+	LayoutInterleaved = layout.Interleaved
+)
+
+// PlanDiskGeometry returns how many contiguous ranges and physical
+// bytes a repair plan's helpers read from disk under the layout.
+// Network bytes are layout-independent; disk bytes are not — the reason
+// the coupled layout ships.
+func PlanDiskGeometry(k LayoutKind, plan *RepairPlan) (ranges int, diskBytes int64, err error) {
+	return layout.PlanGeometry(k, plan)
+}
+
+// --- Regenerating-code bounds (§5 related work) -------------------------
+
+// RegeneratingParams identifies a point of the regenerating-codes model
+// cited in the paper's related work: n nodes, k sufficient for the
+// file, d helpers per repair.
+type RegeneratingParams = regenerating.Params
+
+// RegeneratingPoint is one storage/repair-bandwidth trade-off point.
+type RegeneratingPoint = regenerating.Point
+
+// MSRPoint returns the minimum-storage regenerating point for a file of
+// the given size — the repair-download floor for storage-optimal codes.
+func MSRPoint(fileBytes float64, p RegeneratingParams) (RegeneratingPoint, error) {
+	return regenerating.MSR(fileBytes, p)
+}
+
+// MBRPoint returns the minimum-bandwidth regenerating point — the
+// absolute repair-download floor, paid for with extra storage.
+func MBRPoint(fileBytes float64, p RegeneratingParams) (RegeneratingPoint, error) {
+	return regenerating.MBR(fileBytes, p)
+}
+
+// MSRRepairFraction returns the cut-set floor on single-failure repair
+// download, as a fraction of the stripe's data size (0.325 for the
+// paper's (10,4) with 13 helpers).
+func MSRRepairFraction(p RegeneratingParams) (float64, error) {
+	return regenerating.RepairFractionBound(p)
+}
+
+// --- Cluster substrate -------------------------------------------------
+
+// Topology is a racks x machines cluster layout.
+type Topology = cluster.Topology
+
+// Network is the switch-level byte-accounting fabric (TOR switches plus
+// aggregation switch, Fig. 1).
+type Network = cluster.Network
+
+// BandwidthModel converts repair plans into §3.2 recovery-time
+// estimates.
+type BandwidthModel = cluster.BandwidthModel
+
+// DefaultBandwidthModel returns 2013-era disk and NIC bandwidths.
+func DefaultBandwidthModel() BandwidthModel { return cluster.DefaultBandwidthModel() }
+
+// MiniHDFS is the in-process HDFS + HDFS-RAID model.
+type MiniHDFS = hdfs.Cluster
+
+// HDFSConfig parameterises a MiniHDFS.
+type HDFSConfig = hdfs.Config
+
+// FixReport summarises one BlockFixer pass.
+type FixReport = hdfs.FixReport
+
+// RaidPolicy decides which files the RaidNode erasure-codes.
+type RaidPolicy = hdfs.RaidPolicy
+
+// RaidReport summarises one RaidNode policy pass.
+type RaidReport = hdfs.RaidReport
+
+// ScrubReport summarises one checksum-scrubber pass.
+type ScrubReport = hdfs.ScrubReport
+
+// DefaultRaidPolicy returns the paper's §2.1 policy: erasure-code data
+// not accessed for three months.
+func DefaultRaidPolicy() RaidPolicy { return hdfs.DefaultRaidPolicy() }
+
+// NewMiniHDFS builds an empty miniature DFS.
+func NewMiniHDFS(cfg HDFSConfig) (*MiniHDFS, error) { return hdfs.New(cfg) }

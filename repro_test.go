@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: split, encode, lose shards,
+	// reconstruct, join.
+	code, err := NewPiggybackedRS(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(1)).Read(data)
+
+	shards, err := SplitShards(data, code.DataShards(), code.ParityShards(), code.MinShardSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[5], shards[11], shards[13] = nil, nil, nil, nil
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := JoinShards(shards, code.DataShards(), len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("quickstart roundtrip corrupted data")
+	}
+}
+
+func TestSplitShardsValidation(t *testing.T) {
+	if _, err := SplitShards(nil, 4, 2, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := SplitShards([]byte{1}, 0, 2, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SplitShards([]byte{1}, 4, -1, 2); err == nil {
+		t.Fatal("negative r accepted")
+	}
+	if _, err := SplitShards([]byte{1}, 4, 2, 0); err == nil {
+		t.Fatal("zero alignment accepted")
+	}
+}
+
+func TestSplitShardsAlignment(t *testing.T) {
+	shards, err := SplitShards(make([]byte, 101), 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("got %d shards, want 6", len(shards))
+	}
+	for i := 0; i < 4; i++ {
+		if len(shards[i])%2 != 0 {
+			t.Fatalf("shard %d not aligned: %d bytes", i, len(shards[i]))
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if shards[i] != nil {
+			t.Fatal("parity slots must be nil before Encode")
+		}
+	}
+}
+
+func TestJoinShardsErrors(t *testing.T) {
+	shards, _ := SplitShards(make([]byte, 100), 4, 2, 2)
+	if _, err := JoinShards(shards, 9, 100); err == nil {
+		t.Fatal("k beyond shard count accepted")
+	}
+	shards[1] = nil
+	if _, err := JoinShards(shards, 4, 100); err == nil {
+		t.Fatal("missing data shard accepted")
+	}
+	shards, _ = SplitShards(make([]byte, 100), 4, 2, 2)
+	if _, err := JoinShards(shards, 4, 1000); err == nil {
+		t.Fatal("length beyond capacity accepted")
+	}
+}
+
+func TestAllCodecsSatisfyInterface(t *testing.T) {
+	rsc, err := NewRS(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewPiggybackedRS(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := NewLRC(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Codec{rsc, pb, lc} {
+		if c.DataShards() != 10 {
+			t.Fatalf("%s: wrong k", c.Name())
+		}
+		per, avg, err := RepairFraction(c, 4096)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(per) != c.TotalShards() || avg <= 0 || avg > 1 {
+			t.Fatalf("%s: bad repair fractions", c.Name())
+		}
+	}
+}
+
+func TestNewPiggybackedRSWithGroups(t *testing.T) {
+	pb, err := NewPiggybackedRSWithGroups(10, 4, [][]int{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covered shards repair at (10+2)/20 = 0.6; uncovered at 1.0.
+	if f := pb.TheoreticalRepairFraction(0); f != 0.6 {
+		t.Fatalf("fraction %v, want 0.6", f)
+	}
+	if f := pb.TheoreticalRepairFraction(9); f != 1.0 {
+		t.Fatalf("uncovered fraction %v, want 1.0", f)
+	}
+	if _, err := NewPiggybackedRSWithGroups(10, 4, [][]int{{0, 0}}); err == nil {
+		t.Fatal("bad groups accepted")
+	}
+}
+
+func TestStudyPipelineThroughPublicAPI(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Days = 8
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsc, _ := NewRS(10, 4)
+	pb, _ := NewPiggybackedRS(10, 4)
+	cmp, err := CompareCodecs(rsc, pb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SavingsFraction() <= 0.15 {
+		t.Fatalf("savings fraction %v, want > 0.15", cmp.SavingsFraction())
+	}
+	res, err := RunStudy(rsc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBlocks != cmp.Baseline.TotalBlocks {
+		t.Fatal("RunStudy and CompareCodecs disagree")
+	}
+}
+
+func TestDistributionThroughPublicAPI(t *testing.T) {
+	cfg := DefaultStripeFailureConfig()
+	cfg.Stripes = 20000
+	cfg.Windows = 2
+	dist, err := MissingBlockDistribution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Fraction(1) < 0.9 {
+		t.Fatalf("single-failure share %v, want > 0.9", dist.Fraction(1))
+	}
+}
+
+func TestReliabilityThroughPublicAPI(t *testing.T) {
+	pb, _ := NewPiggybackedRS(10, 4)
+	rsc, _ := NewRS(10, 4)
+	pbSys, err := CodeSystem(pb, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsSys, _ := CodeSystem(rsc, 256<<20)
+	p := DefaultReliabilityParams()
+	pbY, err := MTTDLYears(pbSys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsY, _ := MTTDLYears(rsSys, p)
+	if pbY <= rsY {
+		t.Fatalf("MTTDL(PB)=%v <= MTTDL(RS)=%v", pbY, rsY)
+	}
+}
+
+func TestMiniHDFSThroughPublicAPI(t *testing.T) {
+	pb, _ := NewPiggybackedRS(4, 2)
+	fs, err := NewMiniHDFS(HDFSConfig{
+		Topology:    Topology{Racks: 10, MachinesPerRack: 2},
+		Code:        pb,
+		BlockSize:   512,
+		Replication: 3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2048)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := fs.WriteFile("warm/data", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RaidFile("warm/data"); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations("warm/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.DecommissionMachine(locs[0][0])
+	report, err := fs.RunBlockFixer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RepairedStriped != 1 {
+		t.Fatalf("fix report %+v", report)
+	}
+	got, err := fs.ReadFile("warm/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("public API HDFS flow corrupted data")
+	}
+}

@@ -1,0 +1,226 @@
+// Streaming encode/decode: the file-scale interface a consumer of the
+// library actually uses to archive data, mirroring how HDFS-RAID
+// processes 256 MB blocks as sequences of byte-level stripes (Fig. 2)
+// rather than buffering whole blocks.
+//
+// A stream is processed in fixed-size chunks: each chunk consumes
+// k*ChunkSize bytes of input and appends ChunkSize bytes to each of the
+// k+r shard streams. Shard streams are therefore ordinary files whose
+// j-th chunk aligns with every other stream's j-th chunk, and any k of
+// them reproduce the original data.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultChunkSize is the per-shard chunk size used when none is given:
+// 64 KiB keeps memory at k*64 KiB while amortising per-chunk overhead.
+const DefaultChunkSize = 64 << 10
+
+// StreamCodec wraps a Codec with chunked io.Reader/io.Writer plumbing.
+type StreamCodec struct {
+	code  Codec
+	chunk int
+}
+
+// NewStreamCodec builds a streaming wrapper around the codec. chunkSize
+// is the per-shard chunk in bytes; 0 selects DefaultChunkSize. The
+// chunk must be a multiple of the codec's MinShardSize.
+func NewStreamCodec(code Codec, chunkSize int) (*StreamCodec, error) {
+	if code == nil {
+		return nil, errors.New("repro: nil codec")
+	}
+	if chunkSize == 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if chunkSize < 0 {
+		return nil, fmt.Errorf("repro: negative chunk size %d", chunkSize)
+	}
+	if chunkSize%code.MinShardSize() != 0 {
+		return nil, fmt.Errorf("repro: chunk size %d not a multiple of shard alignment %d",
+			chunkSize, code.MinShardSize())
+	}
+	return &StreamCodec{code: code, chunk: chunkSize}, nil
+}
+
+// ChunkSize returns the per-shard chunk size.
+func (s *StreamCodec) ChunkSize() int { return s.chunk }
+
+// Encode reads src to EOF and writes k+r shard streams. The final chunk
+// is zero-padded. It returns the number of data bytes consumed, which
+// Decode needs back to trim the padding.
+func (s *StreamCodec) Encode(src io.Reader, shards []io.Writer) (int64, error) {
+	k, r := s.code.DataShards(), s.code.ParityShards()
+	if len(shards) != k+r {
+		return 0, fmt.Errorf("%w: got %d writers, want %d", ErrShardCount, len(shards), k+r)
+	}
+	for i, w := range shards {
+		if w == nil {
+			return 0, fmt.Errorf("%w: writer %d is nil", ErrShardCount, i)
+		}
+	}
+	buf := make([]byte, k*s.chunk)
+	work := make([][]byte, k+r)
+	var total int64
+	for {
+		n, err := io.ReadFull(src, buf)
+		if n == 0 {
+			if err == io.EOF {
+				return total, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return total, nil
+			}
+			return total, err
+		}
+		total += int64(n)
+		// Zero-pad a short tail chunk.
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		for i := 0; i < k; i++ {
+			work[i] = buf[i*s.chunk : (i+1)*s.chunk]
+		}
+		for i := k; i < k+r; i++ {
+			work[i] = nil
+		}
+		if encErr := s.code.Encode(work); encErr != nil {
+			return total, encErr
+		}
+		for i, w := range shards {
+			if _, wErr := w.Write(work[i]); wErr != nil {
+				return total, fmt.Errorf("repro: writing shard %d: %w", i, wErr)
+			}
+		}
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Decode reads the shard streams (nil entries mark missing shards),
+// reconstructs each chunk, and writes exactly dataLen bytes of original
+// data to dst. At least k shard streams must be present.
+func (s *StreamCodec) Decode(shards []io.Reader, dst io.Writer, dataLen int64) error {
+	k, r := s.code.DataShards(), s.code.ParityShards()
+	if len(shards) != k+r {
+		return fmt.Errorf("%w: got %d readers, want %d", ErrShardCount, len(shards), k+r)
+	}
+	present := 0
+	for _, rd := range shards {
+		if rd != nil {
+			present++
+		}
+	}
+	if present < k {
+		return fmt.Errorf("%w: %d streams present, need %d", ErrTooFewShards, present, k)
+	}
+	if dataLen < 0 {
+		return fmt.Errorf("%w: negative data length", ErrShardSize)
+	}
+
+	work := make([][]byte, k+r)
+	remaining := dataLen
+	for remaining > 0 {
+		for i, rd := range shards {
+			if rd == nil {
+				work[i] = nil
+				continue
+			}
+			if work[i] == nil || len(work[i]) != s.chunk {
+				work[i] = make([]byte, s.chunk)
+			}
+			if _, err := io.ReadFull(rd, work[i]); err != nil {
+				return fmt.Errorf("repro: reading shard %d: %w", i, err)
+			}
+		}
+		if err := s.code.Reconstruct(work); err != nil {
+			return err
+		}
+		for i := 0; i < k && remaining > 0; i++ {
+			n := int64(s.chunk)
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := dst.Write(work[i][:n]); err != nil {
+				return fmt.Errorf("repro: writing output: %w", err)
+			}
+			remaining -= n
+		}
+		// Missing entries were filled by Reconstruct; reset them to nil
+		// so the next chunk is reconstructed fresh.
+		for i := range work {
+			if shards[i] == nil {
+				work[i] = nil
+			}
+		}
+	}
+	return nil
+}
+
+// RepairShard regenerates the single shard stream idx from the others
+// (nil entries mark missing streams; idx itself must be nil) and writes
+// it to dst. dataLen is the original data length from Encode; it bounds
+// the number of chunks.
+func (s *StreamCodec) RepairShard(idx int, shards []io.Reader, dst io.Writer, dataLen int64) error {
+	k, r := s.code.DataShards(), s.code.ParityShards()
+	if idx < 0 || idx >= k+r {
+		return fmt.Errorf("%w: %d of %d", ErrShardIndex, idx, k+r)
+	}
+	if len(shards) != k+r {
+		return fmt.Errorf("%w: got %d readers, want %d", ErrShardCount, len(shards), k+r)
+	}
+	if shards[idx] != nil {
+		return fmt.Errorf("%w: shard %d", ErrShardPresent, idx)
+	}
+	if dataLen < 0 {
+		return fmt.Errorf("%w: negative data length", ErrShardSize)
+	}
+	chunks := (dataLen + int64(k*s.chunk) - 1) / int64(k*s.chunk)
+
+	work := make([][]byte, k+r)
+	for c := int64(0); c < chunks; c++ {
+		for i, rd := range shards {
+			if rd == nil {
+				work[i] = nil
+				continue
+			}
+			if work[i] == nil || len(work[i]) != s.chunk {
+				work[i] = make([]byte, s.chunk)
+			}
+			if _, err := io.ReadFull(rd, work[i]); err != nil {
+				return fmt.Errorf("repro: reading shard %d: %w", i, err)
+			}
+		}
+		if err := s.code.Reconstruct(work); err != nil {
+			return err
+		}
+		if _, err := dst.Write(work[idx]); err != nil {
+			return fmt.Errorf("repro: writing repaired shard: %w", err)
+		}
+		for i := range work {
+			if shards[i] == nil {
+				work[i] = nil
+			}
+		}
+	}
+	return nil
+}
+
+// ShardStreamSize returns the size of each shard stream produced by
+// Encode for the given data length.
+func (s *StreamCodec) ShardStreamSize(dataLen int64) int64 {
+	if dataLen <= 0 {
+		return 0
+	}
+	k := int64(s.code.DataShards())
+	chunkData := k * int64(s.chunk)
+	chunks := (dataLen + chunkData - 1) / chunkData
+	return chunks * int64(s.chunk)
+}

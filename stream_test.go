@@ -1,0 +1,243 @@
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newStream(t *testing.T) (*StreamCodec, Codec) {
+	t.Helper()
+	code, err := NewPiggybackedRS(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewStreamCodec(code, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, code
+}
+
+// encodeToBuffers encodes data and returns the shard streams as byte
+// slices.
+func encodeToBuffers(t *testing.T, sc *StreamCodec, code Codec, data []byte) ([][]byte, int64) {
+	t.Helper()
+	writers := make([]io.Writer, code.TotalShards())
+	bufs := make([]*bytes.Buffer, code.TotalShards())
+	for i := range writers {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	n, err := sc.Encode(bytes.NewReader(data), writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("Encode consumed %d bytes, want %d", n, len(data))
+	}
+	out := make([][]byte, len(bufs))
+	for i, b := range bufs {
+		out[i] = b.Bytes()
+	}
+	return out, n
+}
+
+func TestNewStreamCodecValidation(t *testing.T) {
+	code, _ := NewPiggybackedRS(4, 2)
+	if _, err := NewStreamCodec(nil, 0); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	if _, err := NewStreamCodec(code, -1); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+	if _, err := NewStreamCodec(code, 7); err == nil {
+		t.Fatal("misaligned chunk accepted (codec needs even)")
+	}
+	sc, err := NewStreamCodec(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ChunkSize() != DefaultChunkSize {
+		t.Fatalf("default chunk = %d", sc.ChunkSize())
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	sc, code := newStream(t)
+	for _, n := range []int{1, 1000, 10 * 1024, 10*1024 + 1, 100 * 1024} {
+		data := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(data)
+		shards, dataLen := encodeToBuffers(t, sc, code, data)
+
+		for i, s := range shards {
+			if int64(len(s)) != sc.ShardStreamSize(dataLen) {
+				t.Fatalf("n=%d: shard %d stream is %d bytes, want %d", n, i, len(s), sc.ShardStreamSize(dataLen))
+			}
+		}
+
+		// Decode with 4 streams missing (the maximum).
+		readers := make([]io.Reader, len(shards))
+		for i, s := range shards {
+			readers[i] = bytes.NewReader(s)
+		}
+		readers[0], readers[3], readers[10], readers[13] = nil, nil, nil, nil
+		var out bytes.Buffer
+		if err := sc.Decode(readers, &out, dataLen); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("n=%d: roundtrip corrupted data", n)
+		}
+	}
+}
+
+func TestStreamDecodeTooFewStreams(t *testing.T) {
+	sc, code := newStream(t)
+	data := make([]byte, 5000)
+	shards, dataLen := encodeToBuffers(t, sc, code, data)
+	readers := make([]io.Reader, len(shards))
+	for i := 0; i < 9; i++ { // only 9 < k=10 present
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	if err := sc.Decode(readers, io.Discard, dataLen); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("want ErrTooFewShards, got %v", err)
+	}
+}
+
+func TestStreamRepairShard(t *testing.T) {
+	sc, code := newStream(t)
+	data := make([]byte, 40*1024)
+	rand.New(rand.NewSource(9)).Read(data)
+	shards, dataLen := encodeToBuffers(t, sc, code, data)
+
+	for _, idx := range []int{0, 7, 10, 13} {
+		readers := make([]io.Reader, len(shards))
+		for i, s := range shards {
+			if i != idx {
+				readers[i] = bytes.NewReader(s)
+			}
+		}
+		var out bytes.Buffer
+		if err := sc.RepairShard(idx, readers, &out, dataLen); err != nil {
+			t.Fatalf("repair %d: %v", idx, err)
+		}
+		if !bytes.Equal(out.Bytes(), shards[idx]) {
+			t.Fatalf("repaired stream %d differs from original", idx)
+		}
+	}
+}
+
+func TestStreamRepairValidation(t *testing.T) {
+	sc, code := newStream(t)
+	readers := make([]io.Reader, code.TotalShards())
+	for i := range readers {
+		readers[i] = bytes.NewReader(nil)
+	}
+	if err := sc.RepairShard(99, readers, io.Discard, 0); !errors.Is(err, ErrShardIndex) {
+		t.Fatalf("bad index: %v", err)
+	}
+	if err := sc.RepairShard(0, readers, io.Discard, 0); !errors.Is(err, ErrShardPresent) {
+		t.Fatalf("present shard: %v", err)
+	}
+	if err := sc.RepairShard(0, readers[:3], io.Discard, 0); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("short readers: %v", err)
+	}
+}
+
+func TestStreamEncodeValidation(t *testing.T) {
+	sc, code := newStream(t)
+	if _, err := sc.Encode(bytes.NewReader(nil), make([]io.Writer, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("short writers: %v", err)
+	}
+	writers := make([]io.Writer, code.TotalShards())
+	if _, err := sc.Encode(bytes.NewReader(nil), writers); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("nil writer: %v", err)
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	sc, code := newStream(t)
+	writers := make([]io.Writer, code.TotalShards())
+	bufs := make([]*bytes.Buffer, code.TotalShards())
+	for i := range writers {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	n, err := sc.Encode(bytes.NewReader(nil), writers)
+	if err != nil || n != 0 {
+		t.Fatalf("empty encode = (%d, %v)", n, err)
+	}
+	for _, b := range bufs {
+		if b.Len() != 0 {
+			t.Fatal("empty input produced shard bytes")
+		}
+	}
+	if sc.ShardStreamSize(0) != 0 {
+		t.Fatal("zero data must have zero shard size")
+	}
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	code, err := NewRS(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewStreamCodec(code, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte, missRaw uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		writers := make([]io.Writer, 6)
+		bufs := make([]*bytes.Buffer, 6)
+		for i := range writers {
+			bufs[i] = &bytes.Buffer{}
+			writers[i] = bufs[i]
+		}
+		n, err := sc.Encode(bytes.NewReader(data), writers)
+		if err != nil || n != int64(len(data)) {
+			return false
+		}
+		readers := make([]io.Reader, 6)
+		for i, b := range bufs {
+			readers[i] = bytes.NewReader(b.Bytes())
+		}
+		// Drop up to two streams.
+		m1 := int(missRaw) % 6
+		m2 := (int(missRaw) / 6) % 6
+		readers[m1] = nil
+		readers[m2] = nil
+		var out bytes.Buffer
+		if err := sc.Decode(readers, &out, n); err != nil {
+			return false
+		}
+		return bytes.Equal(out.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardStreamSize(t *testing.T) {
+	sc, _ := newStream(t) // k=10, chunk=1024 -> 10240 data bytes/chunk
+	cases := []struct {
+		data int64
+		want int64
+	}{
+		{1, 1024},
+		{10240, 1024},
+		{10241, 2048},
+		{102400, 10240},
+	}
+	for _, c := range cases {
+		if got := sc.ShardStreamSize(c.data); got != c.want {
+			t.Errorf("ShardStreamSize(%d) = %d, want %d", c.data, got, c.want)
+		}
+	}
+}
