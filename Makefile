@@ -1,0 +1,45 @@
+# Local dev and CI run the identical commands: .github/workflows/ci.yml
+# invokes these targets, so a green `make ci` locally means a green CI.
+
+GO ?= go
+
+.PHONY: build vet fmt fmtcheck test race bench benchsmoke engine-bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmtcheck is the CI gate.
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# Race detector on the concurrency-sensitive packages: the stripe-repair
+# engine, the simulator, and the mini-HDFS whose BlockFixer runs repairs
+# through the engine.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/hdfs/...
+
+# Full benchmark run (regenerates the paper's numbers as metrics).
+bench:
+	$(GO) test -run=NoTests -bench=. ./...
+
+# One-iteration pass over every benchmark so bench code cannot rot.
+benchsmoke:
+	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+# Regenerate BENCH_engine.json (batch repair throughput, serial vs
+# engine-parallel).
+engine-bench:
+	$(GO) run ./cmd/repaircost -engine
+
+ci: build vet fmtcheck test race benchsmoke

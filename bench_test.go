@@ -6,7 +6,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/rs"
@@ -578,5 +580,80 @@ func BenchmarkAblation_VandermondeVsCauchy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Concurrent stripe-repair engine ------------------------------------
+
+// benchEngineRepair measures multi-stripe batch repair throughput at a
+// given engine parallelism: the workload behind BENCH_engine.json
+// (regenerate with `repaircost -engine`). Throughput counts repaired
+// shard bytes; the speedup of par=GOMAXPROCS over par=1 is the
+// engine's scaling headroom on the host.
+func benchEngineRepair(b *testing.B, code Codec, parallelism int) {
+	const shardSize = 128 << 10
+	const stripes = 16
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]RepairJob, stripes)
+	for s := 0; s < stripes; s++ {
+		shards := make([][]byte, code.TotalShards())
+		for i := 0; i < code.DataShards(); i++ {
+			shards[i] = make([]byte, shardSize)
+			rng.Read(shards[i])
+		}
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+		missing := s % code.DataShards()
+		held := shards
+		batch[s] = RepairJob{
+			Code:      code,
+			Missing:   []int{missing},
+			ShardSize: shardSize,
+			Alive:     AllAliveExcept(missing),
+			FetchInto: func(req ReadRequest, dst []byte) error {
+				copy(dst, held[req.Shard][req.Offset:req.Offset+req.Length])
+				return nil
+			},
+		}
+	}
+	eng := NewEngine(EngineOptions{Parallelism: parallelism})
+	b.SetBytes(stripes * shardSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range eng.RunRepairs(batch) {
+			if res.Err != nil {
+				b.Fatalf("job %d: %v", j, res.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineRepair(b *testing.B) {
+	rsc, err := NewRS(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := NewPiggybackedRS(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc, err := NewLRC(10, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pars := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		pars = append(pars, p)
+	}
+	for _, entry := range []struct {
+		name string
+		code Codec
+	}{{"rs", rsc}, {"pbrs", pb}, {"lrc", lc}} {
+		for _, par := range pars {
+			b.Run(fmt.Sprintf("%s/par=%d", entry.name, par), func(b *testing.B) {
+				benchEngineRepair(b, entry.code, par)
+			})
+		}
 	}
 }

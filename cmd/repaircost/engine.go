@@ -1,0 +1,187 @@
+// Engine-mode benchmark: batch repair throughput of the concurrent
+// stripe-repair engine, serial versus parallel, for all three codecs on
+// one execution substrate — the comparison only means something when RS,
+// Piggybacked-RS, and LRC run through identical kernels and scheduling.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+// EngineBenchResult is the machine-readable BENCH_engine.json payload.
+type EngineBenchResult struct {
+	Benchmark   string             `json:"benchmark"`
+	GeneratedAt string             `json:"generated_at"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	Stripes     int                `json:"stripes"`
+	ShardBytes  int                `json:"shard_bytes"`
+	Parallelism int                `json:"parallelism"`
+	Codecs      []CodecBenchResult `json:"codecs"`
+}
+
+// CodecBenchResult is one codec's serial-versus-parallel measurement.
+type CodecBenchResult struct {
+	Codec            string  `json:"codec"`
+	SerialSecs       float64 `json:"serial_secs"`
+	ParallelSecs     float64 `json:"parallel_secs"`
+	SerialMBPerSec   float64 `json:"serial_mb_per_sec"`
+	ParallelMBPerSec float64 `json:"parallel_mb_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// benchStripe is one in-memory encoded stripe with a single failed
+// data shard — the paper's dominant repair case (§2.2: 98.08%).
+type benchStripe struct {
+	shards  [][]byte
+	missing int
+}
+
+func buildBenchStripes(code repro.Codec, n, shardBytes int, seed int64) ([]benchStripe, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]benchStripe, n)
+	for i := range out {
+		shards := make([][]byte, code.TotalShards())
+		for d := 0; d < code.DataShards(); d++ {
+			shards[d] = make([]byte, shardBytes)
+			rng.Read(shards[d])
+		}
+		if err := code.Encode(shards); err != nil {
+			return nil, err
+		}
+		out[i] = benchStripe{shards: shards, missing: i % code.DataShards()}
+	}
+	return out, nil
+}
+
+// repairBatch builds the engine job batch for the stripes; FetchInto
+// lands survivor reads in engine-pooled buffers.
+func repairBatch(code repro.Codec, stripes []benchStripe, shardBytes int) []repro.RepairJob {
+	jobs := make([]repro.RepairJob, len(stripes))
+	for i, st := range stripes {
+		shards := st.shards
+		jobs[i] = repro.RepairJob{
+			Code:      code,
+			Missing:   []int{st.missing},
+			ShardSize: int64(shardBytes),
+			Alive:     repro.AllAliveExcept(st.missing),
+			FetchInto: func(req repro.ReadRequest, dst []byte) error {
+				copy(dst, shards[req.Shard][req.Offset:req.Offset+req.Length])
+				return nil
+			},
+		}
+	}
+	return jobs
+}
+
+// timeBatch runs the batch once and returns the wall time, failing on
+// any job error.
+func timeBatch(eng *repro.Engine, jobs []repro.RepairJob) (time.Duration, error) {
+	start := time.Now()
+	for i, res := range eng.RunRepairs(jobs) {
+		if res.Err != nil {
+			return 0, fmt.Errorf("repair job %d: %w", i, res.Err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func engineBench(k, r, parallelism, stripes, shardBytes int, outFile string) error {
+	if stripes < 1 {
+		return fmt.Errorf("-stripes must be >= 1, got %d", stripes)
+	}
+	if shardBytes < 2 || shardBytes%2 != 0 {
+		return fmt.Errorf("-shard must be a positive even byte count, got %d", shardBytes)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	result := EngineBenchResult{
+		Benchmark:   "engine-repair",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Stripes:     stripes,
+		ShardBytes:  shardBytes,
+		Parallelism: parallelism,
+	}
+
+	rsc, err := repro.NewRS(k, r)
+	if err != nil {
+		return err
+	}
+	pb, err := repro.NewPiggybackedRS(k, r)
+	if err != nil {
+		return err
+	}
+	codecs := []repro.Codec{rsc, pb}
+	if lc, err := repro.NewLRC(k, r, 2); err == nil {
+		codecs = append(codecs, lc)
+	} else {
+		fmt.Fprintf(os.Stderr, "repaircost: skipping lrc(%d,%d,2): %v\n", k, r, err)
+	}
+
+	fmt.Printf("Batch repair throughput: %d stripes x %d-byte shards, single data-shard failures\n",
+		stripes, shardBytes)
+	fmt.Printf("GOMAXPROCS=%d, engine parallelism %d vs 1\n\n", runtime.GOMAXPROCS(0), parallelism)
+	fmt.Printf("%-22s %12s %12s %12s %12s %8s\n",
+		"codec", "serial", "parallel", "ser MB/s", "par MB/s", "speedup")
+
+	serialEng := repro.NewEngine(repro.EngineOptions{Parallelism: 1})
+	parEng := repro.NewEngine(repro.EngineOptions{Parallelism: parallelism})
+	for _, code := range codecs {
+		bench, err := buildBenchStripes(code, stripes, shardBytes, 99)
+		if err != nil {
+			return err
+		}
+		jobs := repairBatch(code, bench, shardBytes)
+		// Warm decode-matrix caches with a full untimed pass — the batch
+		// spans k distinct survivor sets, so warming one job would leave
+		// the serial timing paying the remaining matrix inversions.
+		if _, err := timeBatch(serialEng, jobs); err != nil {
+			return err
+		}
+		serial, err := timeBatch(serialEng, jobs)
+		if err != nil {
+			return err
+		}
+		parallel, err := timeBatch(parEng, jobs)
+		if err != nil {
+			return err
+		}
+		// Throughput counts repaired bytes: one shard per stripe.
+		repaired := float64(stripes) * float64(shardBytes) / 1e6
+		cr := CodecBenchResult{
+			Codec:            code.Name(),
+			SerialSecs:       serial.Seconds(),
+			ParallelSecs:     parallel.Seconds(),
+			SerialMBPerSec:   repaired / serial.Seconds(),
+			ParallelMBPerSec: repaired / parallel.Seconds(),
+			Speedup:          serial.Seconds() / parallel.Seconds(),
+		}
+		result.Codecs = append(result.Codecs, cr)
+		fmt.Printf("%-22s %12s %12s %12.1f %12.1f %7.2fx\n",
+			cr.Codec, serial.Round(time.Millisecond), parallel.Round(time.Millisecond),
+			cr.SerialMBPerSec, cr.ParallelMBPerSec, cr.Speedup)
+	}
+
+	if outFile != "" {
+		blob, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(outFile, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nresults written to %s\n", outFile)
+	}
+	return nil
+}

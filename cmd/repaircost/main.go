@@ -6,9 +6,16 @@
 // explicit: Piggybacked-RS cuts repair traffic at 1.0x extra storage,
 // LRC cuts it further but pays for it in capacity.
 //
+// The -engine mode instead measures concurrent repair throughput: it
+// builds a batch of stripes in memory, repairs them serially and then
+// through the stripe-repair engine at the given -parallelism, and
+// writes machine-readable results to BENCH_engine.json so successive
+// PRs can track the execution substrate's trajectory.
+//
 // Usage:
 //
 //	repaircost [-k K] [-r R] [-size BYTES] [-sweep]
+//	repaircost -engine [-parallelism N] [-stripes N] [-shard BYTES] [-out FILE]
 package main
 
 import (
@@ -26,9 +33,20 @@ func main() {
 	size := flag.Int64("size", 256<<20, "shard size in bytes")
 	sweep := flag.Bool("sweep", false, "print the (k, r) sweep table instead of one configuration")
 	bounds := flag.Bool("bounds", false, "compare against the regenerating-codes cut-set bounds (§5)")
+	engineMode := flag.Bool("engine", false, "measure batch repair throughput on the stripe-repair engine")
+	parallelism := flag.Int("parallelism", 0, "engine worker bound (0 = GOMAXPROCS)")
+	stripes := flag.Int("stripes", 32, "stripes per repair batch in -engine mode")
+	shard := flag.Int("shard", 512<<10, "shard size in bytes in -engine mode")
+	out := flag.String("out", "BENCH_engine.json", "engine-mode results file (empty disables)")
 	flag.Parse()
 
-	if err := run(*k, *r, *size, *sweep, *bounds); err != nil {
+	var err error
+	if *engineMode {
+		err = engineBench(*k, *r, *parallelism, *stripes, *shard, *out)
+	} else {
+		err = run(*k, *r, *size, *sweep, *bounds)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repaircost:", err)
 		os.Exit(1)
 	}

@@ -274,11 +274,15 @@ func subViews(shards [][]byte) (aView, bView [][]byte) {
 }
 
 // piggybackInto XORs the piggyback of group g (the XOR of the a-symbols
-// of its members) into dst, reading a-halves from aData.
+// of its members) into dst, reading a-halves from aData, in one fused
+// chunked pass over the group.
 func (c *Code) piggybackInto(g int, aData [][]byte, dst []byte) {
-	for _, m := range c.groups[g] {
-		gf256.XorSlice(aData[m], dst)
+	members := c.groups[g]
+	inputs := make([][]byte, len(members))
+	for i, m := range members {
+		inputs[i] = aData[m]
 	}
+	gf256.XorAllSlices(inputs, dst)
 }
 
 // Encode computes the r parity shards from the k data shards. shards
@@ -600,6 +604,7 @@ func (c *Code) executeCheapRepair(idx, half int, got map[int]*fetched) ([]byte, 
 	gf256.XorSlice(rsParity, piggy)
 
 	// XOR out the other group members' a-symbols, leaving a_idx.
+	aHalves := make([][]byte, 0, len(c.groups[g])-1)
 	for _, m := range c.groups[g] {
 		if m == idx {
 			continue
@@ -608,8 +613,9 @@ func (c *Code) executeCheapRepair(idx, half int, got map[int]*fetched) ([]byte, 
 		if f == nil || f.a == nil {
 			return nil, fmt.Errorf("core: missing a-half of group member %d", m)
 		}
-		gf256.XorSlice(f.a, piggy)
+		aHalves = append(aHalves, f.a)
 	}
+	gf256.XorAllSlices(aHalves, piggy)
 
 	shard := make([]byte, 2*half)
 	copy(shard[:half], piggy)

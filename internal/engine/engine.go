@@ -1,0 +1,239 @@
+// Package engine is the concurrent stripe-execution engine: it takes a
+// batch of encode or repair jobs — from the measurement study, the
+// mini-HDFS BlockFixer, or the public Codec API — and runs them across
+// a bounded worker pool so that many stripes are in flight at once
+// while each individual stripe still decodes with the cache-friendly
+// fused kernels of internal/gf256.
+//
+// # Design
+//
+//   - A batch is an ordered slice of jobs; results come back in job
+//     order regardless of completion order, so batched execution is a
+//     drop-in replacement for a serial loop.
+//   - Parallelism bounds the worker count. One worker degenerates to
+//     the serial path (useful for parity testing and as the baseline
+//     the BENCH_engine.json speedup is measured against).
+//   - Each worker owns a scratch arena drawn from a sync.Pool. Jobs
+//     that supply a FetchInto callback have their survivor reads
+//     landed in pooled buffers, so a long repair batch recycles a few
+//     arenas instead of allocating fresh fetch buffers per stripe.
+//   - The engine never reorders or merges the reads of a repair plan;
+//     it executes exactly the access pattern the plan charges for, so
+//     traffic accounting by a FetchFunc remains byte-identical to
+//     serial execution.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/ec"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism is the maximum number of jobs in flight; 0 selects
+	// GOMAXPROCS. Cache-level chunking is not configured here: the
+	// gf256 bulk kernels chunk internally.
+	Parallelism int
+}
+
+// Engine executes batches of stripe jobs over a bounded worker pool.
+// An Engine is safe for concurrent use and may be shared; a zero-value
+// Engine is not usable, construct with New.
+type Engine struct {
+	par     int
+	scratch sync.Pool // *Scratch
+}
+
+// New builds an engine. See Options for the zero-value defaults.
+func New(opts Options) *Engine {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{par: par}
+	e.scratch.New = func() any { return &Scratch{} }
+	return e
+}
+
+// Parallelism returns the worker bound.
+func (e *Engine) Parallelism() int { return e.par }
+
+// Scratch is a per-worker arena of reusable byte buffers. Buffers
+// handed out by Bytes remain valid until Reset; the engine resets the
+// arena between jobs, so pooled buffers never outlive the job that
+// fetched into them.
+type Scratch struct {
+	bufs [][]byte
+	next int
+}
+
+// Bytes returns a length-n buffer, reusing a prior allocation when one
+// is large enough. The buffer is NOT zeroed.
+func (s *Scratch) Bytes(n int) []byte {
+	if s.next < len(s.bufs) && cap(s.bufs[s.next]) >= n {
+		b := s.bufs[s.next][:n]
+		s.next++
+		return b
+	}
+	b := make([]byte, n)
+	if s.next < len(s.bufs) {
+		s.bufs[s.next] = b
+	} else {
+		s.bufs = append(s.bufs, b)
+	}
+	s.next++
+	return b
+}
+
+// Reset makes every buffer in the arena reusable again. Buffers handed
+// out earlier must no longer be referenced.
+func (s *Scratch) Reset() { s.next = 0 }
+
+// FetchIntoFunc retrieves the bytes described by one ReadRequest into
+// dst (whose length equals the request length). Jobs that provide it
+// let the engine land survivor reads in pooled scratch buffers.
+type FetchIntoFunc func(req ec.ReadRequest, dst []byte) error
+
+// RepairJob asks for the missing shards of one stripe to be
+// reconstructed. Exactly one of Fetch or FetchInto must be set.
+type RepairJob struct {
+	// Code is the stripe's codec. Codecs are safe for concurrent use,
+	// so one codec instance is typically shared by every job.
+	Code ec.Code
+	// Missing lists the shard indices to reconstruct.
+	Missing []int
+	// ShardSize is the stripe's shard size in bytes.
+	ShardSize int64
+	// Alive reports shard availability to the repair planner.
+	Alive ec.AliveFunc
+	// Fetch retrieves planned byte ranges (caller-allocated buffers).
+	Fetch ec.FetchFunc
+	// FetchInto, when set instead of Fetch, retrieves planned ranges
+	// into engine-pooled buffers, eliminating per-read allocations.
+	FetchInto FetchIntoFunc
+}
+
+// RepairResult is the outcome of one RepairJob.
+type RepairResult struct {
+	// Shards holds the reconstructed shard contents keyed by index;
+	// nil when Err is set. The buffers are freshly allocated and owned
+	// by the caller.
+	Shards map[int][]byte
+	// Err is the job's failure, if any. One job failing does not
+	// affect the others in the batch.
+	Err error
+}
+
+// errNoFetch is returned for a repair job with no fetch callback.
+var errNoFetch = errors.New("engine: repair job needs Fetch or FetchInto")
+
+// RunRepairs executes a batch of repair jobs across the worker pool
+// and returns per-job results in job order. Output bytes are identical
+// to calling each job's codec serially.
+func (e *Engine) RunRepairs(jobs []RepairJob) []RepairResult {
+	results := make([]RepairResult, len(jobs))
+	e.forEach(len(jobs), func(i int, s *Scratch) {
+		results[i] = e.runRepair(&jobs[i], s)
+	})
+	return results
+}
+
+// runRepair executes one repair job with the worker's scratch arena.
+func (e *Engine) runRepair(job *RepairJob, s *Scratch) RepairResult {
+	fetch := job.Fetch
+	switch {
+	case fetch == nil && job.FetchInto == nil:
+		return RepairResult{Err: errNoFetch}
+	case fetch == nil:
+		into := job.FetchInto
+		fetch = func(req ec.ReadRequest) ([]byte, error) {
+			buf := s.Bytes(int(req.Length))
+			// Zero the recycled buffer so a FetchInto that writes short
+			// sees zeros — exactly what a fresh allocation on the Fetch
+			// path would hold — instead of a previous stripe's bytes.
+			clear(buf)
+			if err := into(req, buf); err != nil {
+				return nil, err
+			}
+			return buf, nil
+		}
+	}
+	shards, err := job.Code.ExecuteMultiRepair(job.Missing, job.ShardSize, job.Alive, fetch)
+	if err != nil {
+		return RepairResult{Err: err}
+	}
+	// On the pooled path, copy every result before the arena is reused:
+	// a codec is free to return views into fetched buffers (ec.Code does
+	// not forbid it), and pooled fetch buffers die at the next job. The
+	// copy is one repaired shard per missing index — noise next to the k
+	// survivor reads the pool just saved allocating.
+	if job.FetchInto != nil {
+		for idx, shard := range shards {
+			shards[idx] = append([]byte(nil), shard...)
+		}
+	}
+	return RepairResult{Shards: shards}
+}
+
+// EncodeJob asks for the parity shards of one stripe to be computed.
+type EncodeJob struct {
+	// Code is the stripe's codec.
+	Code ec.Code
+	// Shards is the k+r shard slice passed to Code.Encode: data shards
+	// present, parity entries filled in place (allocated when nil).
+	Shards [][]byte
+}
+
+// RunEncodes executes a batch of encode jobs across the worker pool
+// and returns per-job errors in job order. Parity bytes are written
+// into each job's Shards exactly as a serial Encode would.
+func (e *Engine) RunEncodes(jobs []EncodeJob) []error {
+	errs := make([]error, len(jobs))
+	e.forEach(len(jobs), func(i int, _ *Scratch) {
+		errs[i] = jobs[i].Code.Encode(jobs[i].Shards)
+	})
+	return errs
+}
+
+// forEach runs fn(i) for i in [0, n) across min(par, n) workers, each
+// holding a pooled scratch arena for its lifetime.
+func (e *Engine) forEach(n int, fn func(i int, s *Scratch)) {
+	if n == 0 {
+		return
+	}
+	workers := e.par
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		s := e.scratch.Get().(*Scratch)
+		for i := 0; i < n; i++ {
+			fn(i, s)
+			s.Reset()
+		}
+		e.scratch.Put(s)
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.scratch.Get().(*Scratch)
+			defer e.scratch.Put(s)
+			for i := range next {
+				fn(i, s)
+				s.Reset()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -190,6 +190,120 @@ func XorSlice(in, out []byte) {
 	}
 }
 
+// fusedChunk is the per-pass window of the fused bulk kernels. Fusing
+// several input shards into one pass over a window this size keeps the
+// accumulator resident in L1/L2 while each input streams through once,
+// instead of evicting a megabyte-scale accumulator between per-input
+// passes.
+const fusedChunk = 32 << 10
+
+// MulAddSlices accumulates a coefficient vector times a shard matrix:
+// out[j] ^= XOR_i coeffs[i] * inputs[i][j]. It is the fused form of
+// calling MulSliceXor once per input, processing the output in
+// cache-sized chunks and folding pairs of inputs into each pass with an
+// unrolled inner loop. len(coeffs) must equal len(inputs) and every
+// input must have the length of out. Inputs with a zero coefficient are
+// skipped.
+func MulAddSlices(coeffs []byte, inputs [][]byte, out []byte) {
+	if len(coeffs) != len(inputs) {
+		panic("gf256: MulAddSlices coeffs/inputs length mismatch")
+	}
+	// Drop zero-coefficient inputs up front so the pairing below fuses
+	// only real work; validate lengths for all inputs regardless.
+	live := make([]int, 0, len(inputs))
+	for i, in := range inputs {
+		if len(in) != len(out) {
+			panic("gf256: MulAddSlices input length mismatch")
+		}
+		if coeffs[i] != 0 {
+			live = append(live, i)
+		}
+	}
+	for lo := 0; lo < len(out); lo += fusedChunk {
+		hi := lo + fusedChunk
+		if hi > len(out) {
+			hi = len(out)
+		}
+		dst := out[lo:hi]
+		i := 0
+		for ; i+1 < len(live); i += 2 {
+			a, b := live[i], live[i+1]
+			mulAddPair(coeffs[a], inputs[a][lo:hi], coeffs[b], inputs[b][lo:hi], dst)
+		}
+		if i < len(live) {
+			a := live[i]
+			MulSliceXor(coeffs[a], inputs[a][lo:hi], dst)
+		}
+	}
+}
+
+// mulAddPair performs dst[j] ^= c1*in1[j] ^ c2*in2[j] with a 4-way
+// unrolled inner loop. Both coefficients are non-zero.
+func mulAddPair(c1 byte, in1 []byte, c2 byte, in2 []byte, dst []byte) {
+	t1 := &mulTable[c1]
+	t2 := &mulTable[c2]
+	n := len(dst)
+	in1 = in1[:n]
+	in2 = in2[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dst[j] ^= t1[in1[j]] ^ t2[in2[j]]
+		dst[j+1] ^= t1[in1[j+1]] ^ t2[in2[j+1]]
+		dst[j+2] ^= t1[in1[j+2]] ^ t2[in2[j+2]]
+		dst[j+3] ^= t1[in1[j+3]] ^ t2[in2[j+3]]
+	}
+	for ; j < n; j++ {
+		dst[j] ^= t1[in1[j]] ^ t2[in2[j]]
+	}
+}
+
+// XorAllSlices accumulates many inputs into out: out[j] ^= XOR_i
+// inputs[i][j] — the fused form of calling XorSlice once per input,
+// chunked and pairwise-fused like MulAddSlices. Every input must have
+// the length of out.
+func XorAllSlices(inputs [][]byte, out []byte) {
+	for _, in := range inputs {
+		if len(in) != len(out) {
+			panic("gf256: XorAllSlices input length mismatch")
+		}
+	}
+	for lo := 0; lo < len(out); lo += fusedChunk {
+		hi := lo + fusedChunk
+		if hi > len(out) {
+			hi = len(out)
+		}
+		dst := out[lo:hi]
+		i := 0
+		for ; i+1 < len(inputs); i += 2 {
+			xorPair(inputs[i][lo:hi], inputs[i+1][lo:hi], dst)
+		}
+		if i < len(inputs) {
+			XorSlice(inputs[i][lo:hi], dst)
+		}
+	}
+}
+
+// xorPair performs dst[j] ^= a[j] ^ b[j] with an unrolled inner loop.
+func xorPair(a, b, dst []byte) {
+	n := len(dst)
+	a = a[:n]
+	b = b[:n]
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		dst[j] ^= a[j] ^ b[j]
+		dst[j+1] ^= a[j+1] ^ b[j+1]
+		dst[j+2] ^= a[j+2] ^ b[j+2]
+		dst[j+3] ^= a[j+3] ^ b[j+3]
+		dst[j+4] ^= a[j+4] ^ b[j+4]
+		dst[j+5] ^= a[j+5] ^ b[j+5]
+		dst[j+6] ^= a[j+6] ^ b[j+6]
+		dst[j+7] ^= a[j+7] ^ b[j+7]
+	}
+	for ; j < n; j++ {
+		dst[j] ^= a[j] ^ b[j]
+	}
+}
+
 // DotProduct returns the field dot product of coefficient row coeffs with
 // the column vector vals: sum_i coeffs[i]*vals[i]. The slices must have
 // equal length.

@@ -1,6 +1,8 @@
 package gf256
 
 import (
+	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -273,5 +275,130 @@ func BenchmarkMulSliceXor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulSliceXor(0x8E, in, out)
+	}
+}
+
+// refMulAdd is the unfused reference: one MulSliceXor pass per input.
+func refMulAdd(coeffs []byte, inputs [][]byte, out []byte) {
+	for i, in := range inputs {
+		MulSliceXor(coeffs[i], in, out)
+	}
+}
+
+func TestMulAddSlicesMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sizes straddling the internal chunk boundary, plus odd tails that
+	// exercise the unroll remainder.
+	for _, size := range []int{0, 1, 3, 7, 100, 4096, 32768, 32769, 65536, 100003} {
+		for _, nIn := range []int{1, 2, 3, 4, 10, 14} {
+			coeffs := make([]byte, nIn)
+			inputs := make([][]byte, nIn)
+			for i := range inputs {
+				coeffs[i] = byte(rng.Intn(256))
+				inputs[i] = make([]byte, size)
+				rng.Read(inputs[i])
+			}
+			// Force some zero and unit coefficients into the mix.
+			if nIn >= 2 {
+				coeffs[0] = 0
+				coeffs[1] = 1
+			}
+			got := make([]byte, size)
+			want := make([]byte, size)
+			for i := range got {
+				got[i] = byte(rng.Intn(256))
+				want[i] = got[i]
+			}
+			MulAddSlices(coeffs, inputs, got)
+			refMulAdd(coeffs, inputs, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlices mismatch at size=%d inputs=%d", size, nIn)
+			}
+		}
+	}
+}
+
+func TestMulAddSlicesPanicsOnMismatch(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("coeffs/inputs", func() {
+		MulAddSlices([]byte{1, 2}, [][]byte{{1}}, []byte{0})
+	})
+	assertPanic("input length", func() {
+		MulAddSlices([]byte{1}, [][]byte{{1, 2}}, []byte{0})
+	})
+	assertPanic("zero-coeff input length still checked", func() {
+		MulAddSlices([]byte{0}, [][]byte{{1, 2}}, []byte{0})
+	})
+	assertPanic("xor input length", func() {
+		XorAllSlices([][]byte{{1, 2}}, []byte{0})
+	})
+}
+
+func TestXorAllSlicesMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, size := range []int{0, 1, 5, 9, 4096, 32768, 32770, 70001} {
+		for _, nIn := range []int{0, 1, 2, 3, 5, 10} {
+			inputs := make([][]byte, nIn)
+			for i := range inputs {
+				inputs[i] = make([]byte, size)
+				rng.Read(inputs[i])
+			}
+			got := make([]byte, size)
+			want := make([]byte, size)
+			for i := range got {
+				got[i] = byte(rng.Intn(256))
+				want[i] = got[i]
+			}
+			XorAllSlices(inputs, got)
+			for _, in := range inputs {
+				XorSlice(in, want)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XorAllSlices mismatch at size=%d inputs=%d", size, nIn)
+			}
+		}
+	}
+}
+
+func BenchmarkMulAddSlices_10Inputs(b *testing.B) {
+	const size = 1 << 20
+	coeffs := make([]byte, 10)
+	inputs := make([][]byte, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range inputs {
+		coeffs[i] = byte(1 + rng.Intn(255))
+		inputs[i] = make([]byte, size)
+		rng.Read(inputs[i])
+	}
+	out := make([]byte, size)
+	b.SetBytes(10 * size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlices(coeffs, inputs, out)
+	}
+}
+
+func BenchmarkMulSliceXor_10Passes(b *testing.B) {
+	const size = 1 << 20
+	coeffs := make([]byte, 10)
+	inputs := make([][]byte, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range inputs {
+		coeffs[i] = byte(1 + rng.Intn(255))
+		inputs[i] = make([]byte, size)
+		rng.Read(inputs[i])
+	}
+	out := make([]byte, size)
+	b.SetBytes(10 * size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refMulAdd(coeffs, inputs, out)
 	}
 }

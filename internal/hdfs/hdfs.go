@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ec"
+	"repro/internal/engine"
 )
 
 // Common errors.
@@ -162,6 +163,11 @@ type Config struct {
 	Replication int
 	// Seed drives placement randomness.
 	Seed int64
+	// RepairParallelism bounds how many stripe repairs the BlockFixer
+	// executes concurrently through the stripe-repair engine; 0 selects
+	// GOMAXPROCS. Repaired bytes and traffic accounting are identical
+	// at any setting.
+	RepairParallelism int
 }
 
 // Validate reports whether the configuration is usable.
@@ -193,6 +199,7 @@ type Cluster struct {
 	cfg   Config
 	net   *cluster.Network
 	nodes []*dataNode
+	eng   *engine.Engine
 
 	mu         sync.Mutex
 	rng        *rand.Rand
@@ -222,6 +229,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		net:     net,
 		nodes:   nodes,
+		eng:     engine.New(engine.Options{Parallelism: cfg.RepairParallelism}),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		files:   make(map[string]*fileMeta),
 		blocks:  make(map[BlockID]*blockMeta),
@@ -688,10 +696,45 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 		report.ReReplicated++
 	}
 
+	// Stripe repairs run in three phases so many stripes decode
+	// concurrently through the engine. Planning (destination picks,
+	// which consume the cluster rng) stays serial in stripe order for
+	// determinism; execution is a batch on the stripe-repair engine —
+	// fetches only read cluster state, and the network fabric's byte
+	// accounting is thread-safe; application (stores, onward shipping)
+	// is serial again in stripe order.
+	fixes := make([]*stripeFix, 0, len(stripeOrder))
 	for _, sid := range stripeOrder {
 		lost := lostByStripe[sid]
-		if err := c.fixStripeLocked(c.stripes[sid], lost, report); err != nil {
+		fix, err := c.planStripeFixLocked(c.stripes[sid], lost)
+		if err != nil {
 			for _, bm := range lost {
+				report.Unrecoverable = append(report.Unrecoverable, bm.id)
+			}
+			continue
+		}
+		fixes = append(fixes, fix)
+	}
+	jobs := make([]engine.RepairJob, len(fixes))
+	for i, f := range fixes {
+		jobs[i] = engine.RepairJob{
+			Code:      c.cfg.Code,
+			Missing:   f.positions,
+			ShardSize: f.sm.shardSize,
+			Alive:     c.stripeAlive(f.sm),
+			Fetch:     c.stripeFetch(f.sm, f.worker()),
+		}
+	}
+	results := c.eng.RunRepairs(jobs)
+	for i, f := range fixes {
+		if results[i].Err != nil {
+			for _, bm := range f.lost {
+				report.Unrecoverable = append(report.Unrecoverable, bm.id)
+			}
+			continue
+		}
+		if err := c.applyStripeFixLocked(f, results[i].Shards, report); err != nil {
+			for _, bm := range f.lost {
 				report.Unrecoverable = append(report.Unrecoverable, bm.id)
 			}
 		}
@@ -715,33 +758,50 @@ func (c *Cluster) excludeRacksLocked(sm *stripeMeta, skip BlockID) map[int]bool 
 	return exclude
 }
 
-// fixStripeLocked reconstructs all lost blocks of one stripe with a
-// single joint repair executed at the first replacement machine; the
-// other reconstructed blocks are then shipped onward to their own fresh
-// racks.
-func (c *Cluster) fixStripeLocked(sm *stripeMeta, lost []*blockMeta, report *FixReport) error {
+// stripeFix is one planned stripe repair: which positions to rebuild
+// and where each reconstructed block lands. The joint decode executes
+// at the first destination (the worker); the other blocks are shipped
+// onward from there.
+type stripeFix struct {
+	sm           *stripeMeta
+	lost         []*blockMeta
+	positions    []int
+	destinations []int
+}
+
+// worker returns the machine the joint decode runs on.
+func (f *stripeFix) worker() int { return f.destinations[0] }
+
+// planStripeFixLocked picks a fresh-rack destination for every lost
+// block of the stripe. Planning consumes the cluster rng, so callers
+// must plan stripes in deterministic order.
+func (c *Cluster) planStripeFixLocked(sm *stripeMeta, lost []*blockMeta) (*stripeFix, error) {
 	exclude := c.excludeRacksLocked(sm, -1)
-	positions := make([]int, len(lost))
-	destinations := make([]int, len(lost))
+	fix := &stripeFix{
+		sm:           sm,
+		lost:         lost,
+		positions:    make([]int, len(lost)),
+		destinations: make([]int, len(lost)),
+	}
 	for i, bm := range lost {
-		positions[i] = bm.stripePos
+		fix.positions[i] = bm.stripePos
 		dst, err := c.pickLiveMachineLocked(exclude)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		destinations[i] = dst
+		fix.destinations[i] = dst
 		exclude[c.cfg.Topology.RackOf(dst)] = true
 	}
+	return fix, nil
+}
 
-	worker := destinations[0]
-	shards, err := c.cfg.Code.ExecuteMultiRepair(positions, sm.shardSize,
-		c.stripeAlive(sm), c.stripeFetch(sm, worker))
-	if err != nil {
-		return err
-	}
-	for i, bm := range lost {
+// applyStripeFixLocked stores the reconstructed blocks at their planned
+// destinations, shipping blocks onward from the decode worker.
+func (c *Cluster) applyStripeFixLocked(f *stripeFix, shards map[int][]byte, report *FixReport) error {
+	worker := f.worker()
+	for i, bm := range f.lost {
 		content := shards[bm.stripePos][:bm.size]
-		dst := destinations[i]
+		dst := f.destinations[i]
 		if dst != worker {
 			if err := c.net.Transfer(worker, dst, bm.size); err != nil {
 				return err

@@ -678,3 +678,75 @@ func TestFixerScansAllBlocksNoFailures(t *testing.T) {
 		t.Fatal("healthy pass moved bytes")
 	}
 }
+
+// TestBlockFixerParallelismParity runs the same multi-stripe failure
+// scenario at several engine parallelism settings and asserts identical
+// repair outcomes, restored bytes, and cross-rack traffic: routing the
+// fixer through the concurrent stripe-repair engine must not change
+// what the paper's measurement observes.
+func TestBlockFixerParallelismParity(t *testing.T) {
+	run := func(par int) (*FixReport, int64, []byte) {
+		c, err := New(Config{
+			Topology:          cluster.Topology{Racks: 20, MachinesPerRack: 3},
+			Code:              pbCode(t),
+			BlockSize:         1024,
+			Replication:       3,
+			Seed:              13,
+			RepairParallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randBytes(77, 24*1024)
+		if err := c.WriteFile("f", data); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RaidFile("f"); err != nil {
+			t.Fatal(err)
+		}
+		c.Network().Reset()
+		// Take down one machine per stripe (blocks 0, 5, 10, 15 live in
+		// stripes 0..3 of the (4,2) code) so several stripes each lose a
+		// recoverable number of blocks.
+		locs, _ := c.BlockLocations("f")
+		downed := make(map[int]bool)
+		for _, b := range []int{0, 5, 10, 15} {
+			m := locs[b][0]
+			if !downed[m] {
+				downed[m] = true
+				c.DecommissionMachine(m)
+			}
+		}
+		report, err := c.RunBlockFixer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ReadFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report, c.Network().CrossRackBytes(), got
+	}
+
+	baseReport, baseBytes, baseData := run(1)
+	if baseReport.RepairedStriped == 0 {
+		t.Fatal("scenario repaired no striped blocks; test is vacuous")
+	}
+	for _, par := range []int{2, 4} {
+		report, netBytes, data := run(par)
+		if report.RepairedStriped != baseReport.RepairedStriped {
+			t.Fatalf("par=%d repaired %d blocks, serial repaired %d",
+				par, report.RepairedStriped, baseReport.RepairedStriped)
+		}
+		if len(report.Unrecoverable) != len(baseReport.Unrecoverable) {
+			t.Fatalf("par=%d unrecoverable %v, serial %v",
+				par, report.Unrecoverable, baseReport.Unrecoverable)
+		}
+		if netBytes != baseBytes {
+			t.Fatalf("par=%d moved %d cross-rack bytes, serial moved %d", par, netBytes, baseBytes)
+		}
+		if !bytes.Equal(data, baseData) {
+			t.Fatalf("par=%d restored different bytes than serial", par)
+		}
+	}
+}

@@ -153,17 +153,28 @@ func (c *Code) Encode(shards [][]byte) error {
 			return err
 		}
 	}
-	// Local parities: XOR over each group.
+	// Local parities: one fused XOR pass over each group.
 	for l, group := range c.localGroups {
 		p := shards[c.k+c.r+l]
 		for i := range p {
 			p[i] = 0
 		}
-		for _, m := range group {
-			gf256.XorSlice(shards[m], p)
-		}
+		gf256.XorAllSlices(groupSlices(shards, group, -1), p)
 	}
 	return nil
+}
+
+// groupSlices gathers the shard slices of the given indices, skipping
+// the index skip (pass -1 to keep all), for the fused XOR kernels.
+func groupSlices(shards [][]byte, members []int, skip int) [][]byte {
+	out := make([][]byte, 0, len(members))
+	for _, m := range members {
+		if m == skip {
+			continue
+		}
+		out = append(out, shards[m])
+	}
+	return out
 }
 
 // Verify reports whether all parity shards are consistent with the data.
@@ -185,9 +196,7 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 		for i := range scratch {
 			scratch[i] = 0
 		}
-		for _, m := range group {
-			gf256.XorSlice(shards[m], scratch)
-		}
+		gf256.XorAllSlices(groupSlices(shards, group, -1), scratch)
 		if !bytes.Equal(scratch, shards[c.k+c.r+l]) {
 			return false, nil
 		}
@@ -246,14 +255,11 @@ func (c *Code) localPass(shards [][]byte, size int) bool {
 			continue
 		}
 		out := make([]byte, size)
+		members := group
 		if missing != pIdx {
-			gf256.XorSlice(shards[pIdx], out)
+			members = append(append([]int(nil), group...), pIdx)
 		}
-		for _, m := range group {
-			if m != missing {
-				gf256.XorSlice(shards[m], out)
-			}
-		}
+		gf256.XorAllSlices(groupSlices(shards, members, missing), out)
 		shards[missing] = out
 		repaired = true
 	}
@@ -369,11 +375,13 @@ func (c *Code) ExecuteRepair(idx int, shardSize int64, alive ec.AliveFunc, fetch
 	}
 
 	if _, ok := c.localSources(idx, alive); ok {
-		// Local XOR repair.
+		// Local XOR repair, fused over all fetched group members.
 		out := make([]byte, shardSize)
+		inputs := make([][]byte, 0, len(bufs))
 		for _, buf := range bufs {
-			gf256.XorSlice(buf, out)
+			inputs = append(inputs, buf)
 		}
+		gf256.XorAllSlices(inputs, out)
 		return out, nil
 	}
 
@@ -390,9 +398,7 @@ func (c *Code) ExecuteRepair(idx int, shardSize int64, alive ec.AliveFunc, fetch
 	}
 	// Local parity requested through the global path: XOR its group.
 	out := make([]byte, shardSize)
-	for _, m := range c.localGroups[idx-c.k-c.r] {
-		gf256.XorSlice(sub[m], out)
-	}
+	gf256.XorAllSlices(groupSlices(sub, c.localGroups[idx-c.k-c.r], -1), out)
 	return out, nil
 }
 
@@ -548,11 +554,7 @@ func (c *Code) ExecuteMultiRepair(missing []int, shardSize int64, alive ec.Alive
 				continue
 			}
 			out := make([]byte, shardSize)
-			for _, m := range members {
-				if m != miss {
-					gf256.XorSlice(have[m], out)
-				}
-			}
+			gf256.XorAllSlices(groupSlices(have, members, miss), out)
 			have[miss] = out
 			delete(need, miss)
 			progressed = true

@@ -22,10 +22,17 @@ var ErrSingular = errors.New("matrix: singular")
 
 // Matrix is a rows x cols matrix over GF(2^8). The zero value is not
 // usable; construct with New or the shape-specific constructors.
+//
+// Storage is one flat row-major []byte; data holds per-row views into
+// it. The invariant that row r occupies backing[r*cols:(r+1)*cols] is
+// maintained by every mutator (SwapRows exchanges row contents, not
+// slice headers), so hot paths such as MulVec and RowView index the
+// flat backing directly instead of chasing per-row slice headers.
 type Matrix struct {
-	rows int
-	cols int
-	data [][]byte // data[r][c]
+	rows    int
+	cols    int
+	backing []byte   // row-major flat storage
+	data    [][]byte // data[r][c], views into backing
 }
 
 // New returns a zeroed rows x cols matrix.
@@ -36,9 +43,9 @@ func New(rows, cols int) *Matrix {
 	backing := make([]byte, rows*cols)
 	data := make([][]byte, rows)
 	for r := range data {
-		data[r], backing = backing[:cols:cols], backing[cols:]
+		data[r] = backing[r*cols : (r+1)*cols : (r+1)*cols]
 	}
-	return &Matrix{rows: rows, cols: cols, data: data}
+	return &Matrix{rows: rows, cols: cols, backing: backing, data: data}
 }
 
 // FromRows builds a matrix from explicit row data. All rows must have the
@@ -120,6 +127,15 @@ func (m *Matrix) Row(r int) []byte {
 	return out
 }
 
+// RowView returns row r as a view into the matrix's flat backing —
+// no copy. The view aliases the matrix: it is invalidated by any
+// mutation and must not be written through. Decode hot paths use it to
+// feed coefficient rows straight into the gf256 bulk kernels without
+// per-repair allocations.
+func (m *Matrix) RowView(r int) []byte {
+	return m.backing[r*m.cols : (r+1)*m.cols : (r+1)*m.cols]
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.rows, m.cols)
@@ -163,7 +179,8 @@ func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
 }
 
 // MulVec computes m * v for a column vector v of length Cols, writing the
-// result into dst of length Rows.
+// result into dst of length Rows. It walks the flat backing row by row,
+// so no per-row slice headers are dereferenced in the inner loop.
 func (m *Matrix) MulVec(v, dst []byte) error {
 	if len(v) != m.cols {
 		return fmt.Errorf("matrix: MulVec input length %d, want %d", len(v), m.cols)
@@ -171,8 +188,9 @@ func (m *Matrix) MulVec(v, dst []byte) error {
 	if len(dst) != m.rows {
 		return fmt.Errorf("matrix: MulVec output length %d, want %d", len(dst), m.rows)
 	}
-	for r := 0; r < m.rows; r++ {
-		dst[r] = gf256.DotProduct(m.data[r], v)
+	flat := m.backing
+	for r, off := 0, 0; r < m.rows; r, off = r+1, off+m.cols {
+		dst[r] = gf256.DotProduct(flat[off:off+m.cols], v)
 	}
 	return nil
 }
@@ -218,9 +236,16 @@ func (m *Matrix) SelectRows(rows []int) (*Matrix, error) {
 	return out, nil
 }
 
-// SwapRows exchanges rows r1 and r2 in place.
+// SwapRows exchanges rows r1 and r2 in place. Contents are swapped, not
+// slice headers, preserving the row-major flat-backing invariant.
 func (m *Matrix) SwapRows(r1, r2 int) {
-	m.data[r1], m.data[r2] = m.data[r2], m.data[r1]
+	if r1 == r2 {
+		return
+	}
+	a, b := m.data[r1], m.data[r2]
+	for c := range a {
+		a[c], b[c] = b[c], a[c]
+	}
 }
 
 // IsIdentity reports whether m is square and equal to the identity.

@@ -358,3 +358,51 @@ func TestMulVecMatchesMatrixMulProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFlatBackingInvariant(t *testing.T) {
+	m, err := Vandermonde(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SwapRows(1, 4)
+	m.SwapRows(2, 2)
+	for r := 0; r < m.Rows(); r++ {
+		view := m.RowView(r)
+		for c := 0; c < m.Cols(); c++ {
+			if view[c] != m.At(r, c) {
+				t.Fatalf("RowView out of sync at (%d,%d) after SwapRows", r, c)
+			}
+		}
+	}
+	// RowView aliases: a Set must show through an existing view.
+	view := m.RowView(3)
+	m.Set(3, 2, 0xAB)
+	if view[2] != 0xAB {
+		t.Fatal("RowView does not alias the matrix")
+	}
+}
+
+func TestMulVecAfterSwapRows(t *testing.T) {
+	m, err := Cauchy(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte{1, 2, 3, 4, 5}
+	want := make([]byte, 5)
+	if err := m.MulVec(v, want); err != nil {
+		t.Fatal(err)
+	}
+	m.SwapRows(0, 4)
+	got := make([]byte, 5)
+	if err := m.MulVec(v, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[4] || got[4] != want[0] {
+		t.Fatalf("MulVec after SwapRows: got %v, want rows 0/4 of %v exchanged", got, want)
+	}
+	for _, r := range []int{1, 2, 3} {
+		if got[r] != want[r] {
+			t.Fatalf("MulVec row %d changed by unrelated SwapRows", r)
+		}
+	}
+}

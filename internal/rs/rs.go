@@ -169,16 +169,15 @@ func (c *Code) EncodeParityInto(data [][]byte, j int, dst []byte) error {
 	if len(data) != c.k {
 		return fmt.Errorf("%w: got %d data shards, want %d", ec.ErrShardCount, len(data), c.k)
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	row := c.parityRows[j]
 	for i, d := range data {
 		if len(d) != len(dst) {
 			return fmt.Errorf("%w: data shard %d has %d bytes, dst has %d", ec.ErrShardSize, i, len(d), len(dst))
 		}
-		gf256.MulSliceXor(row[i], d, dst)
 	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	gf256.MulAddSlices(c.parityRows[j], data, dst)
 	return nil
 }
 
@@ -261,10 +260,7 @@ func (c *Code) reconstruct(shards [][]byte, parityToo bool) error {
 				continue
 			}
 			out := make([]byte, size)
-			row := dec.Row(i)
-			for j, in := range inputs {
-				gf256.MulSliceXor(row[j], in, out)
-			}
+			gf256.MulAddSlices(dec.RowView(i), inputs, out)
 			shards[i] = out
 		}
 	}

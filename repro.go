@@ -24,6 +24,20 @@
 //     degraded reads, all charging cross-rack traffic to a switch-level
 //     network model; MTTDLYears implements the §3.2 reliability
 //     analysis.
+//
+// # Execution engine
+//
+// All codec execution — encode, reconstruct, repair — runs on fused,
+// cache-chunked GF(2^8) kernels (gf256.MulAddSlices), and batches of
+// stripe jobs run concurrently on the stripe-repair engine: NewEngine
+// builds a bounded worker pool (the parallelism knob, surfaced as
+// -parallelism on cmd/repaircost) with per-worker scratch-buffer reuse;
+// RunRepairs and RunEncodes execute batches with output byte-identical
+// to serial execution. The BlockFixer of NewMiniHDFS routes its stripe
+// repairs through the same engine (Config.RepairParallelism).
+// cmd/repaircost -engine measures batch repair throughput across
+// parallelism levels and emits machine-readable BENCH_engine.json for
+// trend tracking; see README.md for how to run and interpret it.
 package repro
 
 import (
@@ -32,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ec"
+	"repro/internal/engine"
 	"repro/internal/hdfs"
 	"repro/internal/layout"
 	"repro/internal/lrc"
@@ -163,6 +178,34 @@ func JoinShards(shards [][]byte, k, length int) ([]byte, error) {
 	}
 	return out, nil
 }
+
+// --- Concurrent stripe-repair engine ---------------------------------
+
+// Engine executes batches of encode/repair jobs across a bounded
+// worker pool with per-worker scratch-buffer reuse. Results are
+// byte-identical to serial execution at any parallelism.
+type Engine = engine.Engine
+
+// EngineOptions configures an Engine: Parallelism bounds concurrent
+// jobs (0 = GOMAXPROCS).
+type EngineOptions = engine.Options
+
+// RepairJob asks the engine to reconstruct the missing shards of one
+// stripe through the codec's planned reads.
+type RepairJob = engine.RepairJob
+
+// RepairResult is the per-job outcome of an engine repair batch.
+type RepairResult = engine.RepairResult
+
+// EncodeJob asks the engine to compute one stripe's parity shards.
+type EncodeJob = engine.EncodeJob
+
+// FetchIntoFunc retrieves a planned byte range into an engine-pooled
+// buffer, eliminating per-read allocations in long repair batches.
+type FetchIntoFunc = engine.FetchIntoFunc
+
+// NewEngine builds a concurrent stripe-execution engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // --- Measurement study -----------------------------------------------
 

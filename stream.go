@@ -213,6 +213,78 @@ func (s *StreamCodec) RepairShard(idx int, shards []io.Reader, dst io.Writer, da
 	return nil
 }
 
+// EncodeParallel is Encode with the chunk pipeline batched through the
+// stripe-execution engine: up to eng.Parallelism() chunks are read
+// ahead, encoded concurrently, and written back in order, so shard
+// streams are byte-identical to serial Encode while the GF(2^8) work
+// spreads across the pool. A nil engine falls back to Encode.
+func (s *StreamCodec) EncodeParallel(src io.Reader, shards []io.Writer, eng *Engine) (int64, error) {
+	if eng == nil {
+		return s.Encode(src, shards)
+	}
+	k, r := s.code.DataShards(), s.code.ParityShards()
+	if len(shards) != k+r {
+		return 0, fmt.Errorf("%w: got %d writers, want %d", ErrShardCount, len(shards), k+r)
+	}
+	for i, w := range shards {
+		if w == nil {
+			return 0, fmt.Errorf("%w: writer %d is nil", ErrShardCount, i)
+		}
+	}
+	window := eng.Parallelism()
+	bufs := make([][]byte, window)
+	jobs := make([]EncodeJob, 0, window)
+	var total int64
+	done := false
+	for !done {
+		jobs = jobs[:0]
+		// Fill the window: each slot consumes k*chunk input bytes.
+		for w := 0; w < window; w++ {
+			if bufs[w] == nil {
+				bufs[w] = make([]byte, k*s.chunk)
+			}
+			n, err := io.ReadFull(src, bufs[w])
+			if n == 0 {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					done = true
+					break
+				}
+				return total, err
+			}
+			total += int64(n)
+			for i := n; i < len(bufs[w]); i++ {
+				bufs[w][i] = 0
+			}
+			work := make([][]byte, k+r)
+			for i := 0; i < k; i++ {
+				work[i] = bufs[w][i*s.chunk : (i+1)*s.chunk]
+			}
+			jobs = append(jobs, EncodeJob{Code: s.code, Shards: work})
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				done = true
+				break
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		for _, err := range eng.RunEncodes(jobs) {
+			if err != nil {
+				return total, err
+			}
+		}
+		// Drain the window in order so shard streams stay sequential.
+		for _, job := range jobs {
+			for i, w := range shards {
+				if _, err := w.Write(job.Shards[i]); err != nil {
+					return total, fmt.Errorf("repro: writing shard %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
 // ShardStreamSize returns the size of each shard stream produced by
 // Encode for the given data length.
 func (s *StreamCodec) ShardStreamSize(dataLen int64) int64 {

@@ -241,3 +241,66 @@ func TestShardStreamSize(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeParallelMatchesSerial asserts the engine-batched stream
+// encode produces byte-identical shard streams at several parallelism
+// levels and input sizes, including tails that end mid-window.
+func TestEncodeParallelMatchesSerial(t *testing.T) {
+	sc, code := newStream(t)
+	k, r := code.DataShards(), code.ParityShards()
+	rng := rand.New(rand.NewSource(55))
+	chunk := sc.ChunkSize()
+	for _, size := range []int{1, chunk/2 + 1, k * chunk, 3*k*chunk + 7, 9 * k * chunk} {
+		data := make([]byte, size)
+		rng.Read(data)
+
+		serial := make([]bytes.Buffer, k+r)
+		sw := make([]io.Writer, k+r)
+		for i := range serial {
+			sw[i] = &serial[i]
+		}
+		wantN, err := sc.Encode(bytes.NewReader(data), sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, par := range []int{1, 3} {
+			parallel := make([]bytes.Buffer, k+r)
+			pw := make([]io.Writer, k+r)
+			for i := range parallel {
+				pw[i] = &parallel[i]
+			}
+			gotN, err := sc.EncodeParallel(bytes.NewReader(data), pw, NewEngine(EngineOptions{Parallelism: par}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotN != wantN {
+				t.Fatalf("size=%d par=%d: consumed %d bytes, serial consumed %d", size, par, gotN, wantN)
+			}
+			for i := range serial {
+				if !bytes.Equal(serial[i].Bytes(), parallel[i].Bytes()) {
+					t.Fatalf("size=%d par=%d: shard stream %d differs from serial", size, par, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeParallelNilEngine asserts the nil-engine fallback.
+func TestEncodeParallelNilEngine(t *testing.T) {
+	sc, code := newStream(t)
+	k, r := code.DataShards(), code.ParityShards()
+	data := []byte("fallback")
+	out := make([]bytes.Buffer, k+r)
+	w := make([]io.Writer, k+r)
+	for i := range out {
+		w[i] = &out[i]
+	}
+	n, err := sc.EncodeParallel(bytes.NewReader(data), w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(data))
+	}
+}
