@@ -12,10 +12,18 @@
 // writes machine-readable results to BENCH_engine.json so successive
 // PRs can track the execution substrate's trajectory.
 //
+// The -contention mode replays a failure trace through the event-driven
+// contended fabric (internal/netsim): repairs fair-share NIC, TOR, and
+// aggregation bandwidth with saturating foreground map-reduce load
+// behind a repair scheduler, and the RS versus Piggybacked-RS p50/p99
+// repair latencies and degraded-read slowdowns land in
+// BENCH_contention.json.
+//
 // Usage:
 //
 //	repaircost [-k K] [-r R] [-size BYTES] [-sweep]
 //	repaircost -engine [-parallelism N] [-stripes N] [-shard BYTES] [-out FILE]
+//	repaircost -contention [-days N] [-policy fifo|smallest-first|priority-lanes] [-seed N] [-out FILE]
 package main
 
 import (
@@ -37,13 +45,32 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "engine worker bound (0 = GOMAXPROCS)")
 	stripes := flag.Int("stripes", 32, "stripes per repair batch in -engine mode")
 	shard := flag.Int("shard", 512<<10, "shard size in bytes in -engine mode")
-	out := flag.String("out", "BENCH_engine.json", "engine-mode results file (empty disables)")
+	contentionMode := flag.Bool("contention", false, "simulate repairs on the contended fabric (RS vs Piggybacked-RS)")
+	days := flag.Int("days", 24, "trace length in days in -contention mode")
+	policy := flag.String("policy", "fifo", "repair scheduler policy in -contention mode: fifo, smallest-first, priority-lanes")
+	seed := flag.Int64("seed", 1, "trace and fabric seed in -contention mode")
+	out := flag.String("out", "", "results file (default BENCH_engine.json / BENCH_contention.json per mode; \"none\" disables)")
 	flag.Parse()
 
+	outFile := *out
+	switch {
+	case outFile == "none":
+		outFile = ""
+	case outFile == "" && *engineMode:
+		outFile = "BENCH_engine.json"
+	case outFile == "" && *contentionMode:
+		outFile = "BENCH_contention.json"
+	}
+
 	var err error
-	if *engineMode {
-		err = engineBench(*k, *r, *parallelism, *stripes, *shard, *out)
-	} else {
+	switch {
+	case *engineMode && *contentionMode:
+		err = fmt.Errorf("-engine and -contention are mutually exclusive")
+	case *engineMode:
+		err = engineBench(*k, *r, *parallelism, *stripes, *shard, outFile)
+	case *contentionMode:
+		err = contentionBench(*k, *r, *days, *policy, *seed, outFile)
+	default:
 		err = run(*k, *r, *size, *sweep, *bounds)
 	}
 	if err != nil {

@@ -97,6 +97,7 @@ type Network struct {
 	agg       int64   // bytes through the aggregation switch
 	intraRack int64   // bytes that never left a rack
 	crossRack int64   // bytes that crossed racks
+	loopback  int64   // bytes "moved" from a machine to itself
 	transfers int64   // number of Transfer calls
 }
 
@@ -118,6 +119,12 @@ func (n *Network) Topology() Topology { return n.topo }
 // Transfer accounts a transfer of b bytes from machine src to machine
 // dst. Negative sizes are rejected; zero-byte transfers count as
 // transfers but move nothing.
+//
+// Contract: a self-transfer (src == dst) is a local disk read — for
+// example the raid encoder consuming a block it already holds — and
+// touches no switch. It is counted under the loopback counter, never
+// as intra-rack byte movement, so the intra/cross-rack totals describe
+// bytes that actually crossed a wire.
 func (n *Network) Transfer(src, dst int, b int64) error {
 	if b < 0 {
 		return fmt.Errorf("cluster: negative transfer %d", b)
@@ -127,6 +134,10 @@ func (n *Network) Transfer(src, dst int, b int64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.transfers++
+	if src == dst {
+		n.loopback += b
+		return nil
+	}
 	if srcRack == dstRack {
 		n.intraRack += b
 		return nil
@@ -143,9 +154,12 @@ type Snapshot struct {
 	CrossRackBytes   int64
 	IntraRackBytes   int64
 	AggregationBytes int64
-	Transfers        int64
-	TORUp            []int64
-	TORDown          []int64
+	// LoopbackBytes counts self-transfers (src == dst): local disk
+	// reads that never touched the network.
+	LoopbackBytes int64
+	Transfers     int64
+	TORUp         []int64
+	TORDown       []int64
 }
 
 // Snapshot returns a copy of all counters.
@@ -156,6 +170,7 @@ func (n *Network) Snapshot() Snapshot {
 		CrossRackBytes:   n.crossRack,
 		IntraRackBytes:   n.intraRack,
 		AggregationBytes: n.agg,
+		LoopbackBytes:    n.loopback,
 		Transfers:        n.transfers,
 		TORUp:            append([]int64(nil), n.torUp...),
 		TORDown:          append([]int64(nil), n.torDown...),
@@ -180,6 +195,7 @@ func (n *Network) Reset() {
 	n.agg = 0
 	n.intraRack = 0
 	n.crossRack = 0
+	n.loopback = 0
 	n.transfers = 0
 }
 

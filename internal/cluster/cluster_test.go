@@ -161,8 +161,38 @@ func TestNetworkConcurrentTransfers(t *testing.T) {
 	if s.Transfers != 16000 {
 		t.Fatalf("transfers = %d, want 16000", s.Transfers)
 	}
-	if s.CrossRackBytes+s.IntraRackBytes != 16000 {
-		t.Fatalf("bytes accounted %d, want 16000", s.CrossRackBytes+s.IntraRackBytes)
+	total := s.CrossRackBytes + s.IntraRackBytes + s.LoopbackBytes
+	if total != 16000 {
+		t.Fatalf("bytes accounted %d, want 16000", total)
+	}
+	if s.LoopbackBytes == 0 {
+		t.Fatal("random src==dst pairs must have produced loopback bytes")
+	}
+}
+
+func TestNetworkSelfTransferIsLoopback(t *testing.T) {
+	// Regression: a self-transfer used to be counted as intra-rack
+	// byte movement, inflating the wire totals with local disk reads.
+	net, _ := NewNetwork(Topology{Racks: 2, MachinesPerRack: 2})
+	if err := net.Transfer(1, 1, 100); err != nil {
+		t.Fatalf("self-transfer rejected: %v", err)
+	}
+	s := net.Snapshot()
+	if s.LoopbackBytes != 100 {
+		t.Fatalf("loopback = %d, want 100", s.LoopbackBytes)
+	}
+	if s.IntraRackBytes != 0 || s.CrossRackBytes != 0 || s.AggregationBytes != 0 {
+		t.Fatalf("self-transfer leaked onto the fabric: %+v", s)
+	}
+	if s.Transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", s.Transfers)
+	}
+	if s.TORUp[0] != 0 || s.TORDown[0] != 0 {
+		t.Fatal("self-transfer touched a TOR switch")
+	}
+	net.Reset()
+	if s := net.Snapshot(); s.LoopbackBytes != 0 {
+		t.Fatal("Reset did not clear loopback counter")
 	}
 }
 

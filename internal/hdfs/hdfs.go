@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ec"
 	"repro/internal/engine"
+	"repro/internal/netsim"
 )
 
 // Common errors.
@@ -68,8 +70,13 @@ func (d *dataNode) store(id BlockID, data []byte) error {
 
 // readRange returns length bytes at offset, zero-padded past the
 // block's physical end (striped blocks are logically padded to the
-// stripe's shard size).
+// stripe's shard size). A negative offset or length is an error, not a
+// panic: repair plans are untrusted input by the time they reach a
+// datanode.
 func (d *dataNode) readRange(id BlockID, offset, length int64) ([]byte, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("hdfs: invalid read range [%d, %d+%d) of block %d", offset, offset, length, id)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.alive {
@@ -168,6 +175,18 @@ type Config struct {
 	// GOMAXPROCS. Repaired bytes and traffic accounting are identical
 	// at any setting.
 	RepairParallelism int
+	// Fabric, when non-nil, supplies link capacities for a netsim
+	// contention model: every BlockFixer pass replays its stripe
+	// repairs' actual wire transfers through the fabric and reports
+	// simulated repair times in the FixReport. Racks and
+	// MachinesPerRack are taken from Topology; only the capacity
+	// fields of Fabric are used. Repaired bytes and the cluster
+	// byte-accounting are unaffected. The replay's concurrency bound
+	// is the repair engine's parallelism, so set RepairParallelism
+	// explicitly for results reproducible across machines (0 follows
+	// GOMAXPROCS); the bound used is recorded in
+	// FixReport.SimulatedParallelism.
+	Fabric *netsim.Topology
 }
 
 // Validate reports whether the configuration is usable.
@@ -191,7 +210,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hdfs: stripe width %d exceeds rack count %d (one rack per block, §2.1)",
 			c.Code.TotalShards(), c.Topology.Racks)
 	}
+	if c.Fabric != nil {
+		if err := c.fabricTopology().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// fabricTopology merges the cluster's rack/machine layout with the
+// configured fabric capacities.
+func (c Config) fabricTopology() netsim.Topology {
+	t := *c.Fabric
+	t.Racks = c.Topology.Racks
+	t.MachinesPerRack = c.Topology.MachinesPerRack
+	return t
 }
 
 // Cluster is the miniature DFS.
@@ -575,8 +608,12 @@ func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
 
 // stripeFetch builds the codec fetch function for a stripe: phantom
 // positions yield zeros for free; real positions read from a live
-// holder and charge the transfer to the destination machine.
-func (c *Cluster) stripeFetch(sm *stripeMeta, dst int) ec.FetchFunc {
+// holder and charge the transfer to the destination machine. record,
+// when non-nil, observes every (src, bytes) wire transfer — the
+// contention model replays them through the netsim fabric. It is
+// invoked from the worker executing the stripe's repair job, never
+// concurrently for one stripe.
+func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, bytes int64)) ec.FetchFunc {
 	return func(req ec.ReadRequest) ([]byte, error) {
 		id := sm.blocks[req.Shard]
 		if id < 0 {
@@ -595,6 +632,9 @@ func (c *Cluster) stripeFetch(sm *stripeMeta, dst int) ec.FetchFunc {
 		if err := c.net.Transfer(src, dst, req.Length); err != nil {
 			return nil, err
 		}
+		if record != nil {
+			record(src, req.Length)
+		}
 		return buf, nil
 	}
 }
@@ -607,7 +647,7 @@ func (c *Cluster) reconstructBlockLocked(bm *blockMeta, at int) ([]byte, error) 
 		return nil, fmt.Errorf("%w: block %d is not striped", ErrBlockLost, bm.id)
 	}
 	sm := c.stripes[bm.stripe]
-	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAlive(sm), c.stripeFetch(sm, at))
+	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAlive(sm), c.stripeFetch(sm, at, nil))
 }
 
 // FailMachine marks a machine unavailable. Its blocks become
@@ -642,6 +682,21 @@ type FixReport struct {
 	Unrecoverable []BlockID
 	// CrossRackBytes is the cross-rack traffic this pass generated.
 	CrossRackBytes int64
+	// SimulatedRepairSeconds holds, when Config.Fabric is set, the
+	// contention-simulated completion time of each successful stripe
+	// repair (in stripe-fix order): the pass's transfers replayed
+	// concurrently through the netsim fabric under the engine's
+	// parallelism bound.
+	SimulatedRepairSeconds []float64
+	// SimulatedMakespanSeconds is the simulated wall time for the
+	// whole pass (zero when Config.Fabric is nil or nothing was
+	// repaired).
+	SimulatedMakespanSeconds float64
+	// SimulatedParallelism is the concurrency bound the replay ran
+	// under — Config.RepairParallelism, or GOMAXPROCS when that was 0.
+	// Simulated times are only comparable across machines when the
+	// bound matches.
+	SimulatedParallelism int
 }
 
 // RunBlockFixer scans every block and restores availability: lost
@@ -716,16 +771,31 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 		fixes = append(fixes, fix)
 	}
 	jobs := make([]engine.RepairJob, len(fixes))
+	// With a contention fabric configured, each fix records the actual
+	// wire transfers its fetches perform; one recorder per fix, written
+	// only by the engine worker executing that fix.
+	var recorded [][]netsim.Transfer
+	if c.cfg.Fabric != nil {
+		recorded = make([][]netsim.Transfer, len(fixes))
+	}
 	for i, f := range fixes {
+		var record func(src int, bytes int64)
+		if recorded != nil {
+			i := i
+			record = func(src int, bytes int64) {
+				recorded[i] = append(recorded[i], netsim.Transfer{Src: src, Bytes: bytes})
+			}
+		}
 		jobs[i] = engine.RepairJob{
 			Code:      c.cfg.Code,
 			Missing:   f.positions,
 			ShardSize: f.sm.shardSize,
 			Alive:     c.stripeAlive(f.sm),
-			Fetch:     c.stripeFetch(f.sm, f.worker()),
+			Fetch:     c.stripeFetch(f.sm, f.worker(), record),
 		}
 	}
 	results := c.eng.RunRepairs(jobs)
+	var applied []int
 	for i, f := range fixes {
 		if results[i].Err != nil {
 			for _, bm := range f.lost {
@@ -737,10 +807,72 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 			for _, bm := range f.lost {
 				report.Unrecoverable = append(report.Unrecoverable, bm.id)
 			}
+			continue
 		}
+		applied = append(applied, i)
 	}
 	report.CrossRackBytes = c.net.CrossRackBytes() - before
+	if recorded != nil && len(applied) > 0 {
+		if err := c.simulateFixContention(fixes, recorded, applied, report); err != nil {
+			return nil, err
+		}
+	}
 	return report, nil
+}
+
+// simulateFixContention replays the applied fixes' recorded transfers
+// through the netsim fabric: all stripes submitted at time zero, FIFO,
+// concurrency bounded by the repair engine's parallelism — the same
+// shape the real pass executed with, but with every flow fair-sharing
+// NICs, TOR links, and the aggregation switch.
+func (c *Cluster) simulateFixContention(fixes []*stripeFix, recorded [][]netsim.Transfer, applied []int, report *FixReport) error {
+	sim, err := netsim.NewSimulator(c.cfg.fabricTopology())
+	if err != nil {
+		return err
+	}
+	sched := netsim.NewScheduler(sim, netsim.PolicyFIFO, c.eng.Parallelism())
+	// Decode fan-ins first (IDs [0, len(applied))), then the onward
+	// shipping legs of multi-block fixes: FIFO admission approximates
+	// the real two-phase pass, where blocks ship only after decoding.
+	for jobID, i := range applied {
+		f := fixes[i]
+		sched.Submit(netsim.Job{
+			ID:        jobID,
+			Dst:       f.worker(),
+			Transfers: append([]netsim.Transfer(nil), recorded[i]...),
+		})
+	}
+	shipID := len(applied)
+	for _, i := range applied {
+		f := fixes[i]
+		for j, bm := range f.lost {
+			if dst := f.destinations[j]; dst != f.worker() {
+				sched.Submit(netsim.Job{
+					ID:        shipID,
+					Dst:       dst,
+					Transfers: []netsim.Transfer{{Src: f.worker(), Bytes: bm.size}},
+				})
+				shipID++
+			}
+		}
+	}
+	if err := sim.Run(math.Inf(1)); err != nil {
+		return err
+	}
+	perFix := make([]float64, 0, len(applied))
+	var makespan float64
+	for _, r := range sched.Results() {
+		if r.Finish > makespan {
+			makespan = r.Finish
+		}
+		if r.ID < len(applied) {
+			perFix = append(perFix, r.TotalSeconds())
+		}
+	}
+	report.SimulatedRepairSeconds = perFix
+	report.SimulatedMakespanSeconds = makespan
+	report.SimulatedParallelism = c.eng.Parallelism()
+	return nil
 }
 
 // excludeRacksLocked returns the racks hosting live blocks of the

@@ -1,0 +1,331 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// testTopology: 2 racks x 2 machines. Machines 0,1 on rack 0; 2,3 on
+// rack 1. NIC 100 B/s, TOR 150 B/s each way, agg 1000 B/s.
+func testTopology() Topology {
+	return Topology{
+		Racks:              2,
+		MachinesPerRack:    2,
+		NICBytesPerSec:     100,
+		TORUpBytesPerSec:   150,
+		TORDownBytesPerSec: 150,
+		AggBytesPerSec:     1000,
+	}
+}
+
+func startFlow(t *testing.T, s *Simulator, src, dst int, bytes int64, class Class) *Flow {
+	t.Helper()
+	fl, err := s.StartFlow(src, dst, bytes, class, nil)
+	if err != nil {
+		t.Fatalf("StartFlow(%d->%d): %v", src, dst, err)
+	}
+	return fl
+}
+
+// rates runs the allocator without advancing time.
+func rates(t *testing.T, s *Simulator) {
+	t.Helper()
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestMaxMinFairShareHandComputed pins the allocator to a hand-worked
+// three-flow example requiring two progressive-filling rounds.
+//
+//	F1: 0->2 and F2: 1->2 share the destination NIC downlink
+//	    (100 B/s / 2 = 50 each; that is their bottleneck).
+//	F3: 3->1 rides uncontended links and, after round one's delta of
+//	    50, absorbs a second round up to its source NIC: 100.
+func TestMaxMinFairShareHandComputed(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := startFlow(t, s, 0, 2, 1<<40, ClassBulk)
+	f2 := startFlow(t, s, 1, 2, 1<<40, ClassBulk)
+	f3 := startFlow(t, s, 3, 1, 1<<40, ClassBulk)
+	rates(t, s)
+
+	approx(t, "f1", f1.Rate(), 50)
+	approx(t, "f2", f2.Rate(), 50)
+	approx(t, "f3", f3.Rate(), 100)
+}
+
+// TestMaxMinTORBottleneck saturates one TOR uplink with three flows:
+// each gets a third of the TOR, not of the NIC.
+func TestMaxMinTORBottleneck(t *testing.T) {
+	top := testTopology()
+	top.MachinesPerRack = 3
+	s, err := NewSimulator(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machines 0,1,2 on rack 0; 3,4,5 on rack 1. Three cross-rack
+	// flows from distinct sources to distinct destinations all cross
+	// torUp0 (150): fair share 50 each, below the NIC's 100.
+	f1 := startFlow(t, s, 0, 3, 1<<40, ClassBulk)
+	f2 := startFlow(t, s, 1, 4, 1<<40, ClassBulk)
+	f3 := startFlow(t, s, 2, 5, 1<<40, ClassBulk)
+	rates(t, s)
+
+	approx(t, "f1", f1.Rate(), 50)
+	approx(t, "f2", f2.Rate(), 50)
+	approx(t, "f3", f3.Rate(), 50)
+}
+
+// TestPriorityPreemptsBulk: a priority flow takes its full NIC rate and
+// bulk flows on the same links are squeezed to the residual (zero
+// here); an unrelated bulk flow is untouched.
+func TestPriorityPreemptsBulk(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri := startFlow(t, s, 0, 2, 1<<40, ClassPriority)
+	b1 := startFlow(t, s, 1, 2, 1<<40, ClassBulk) // shares nicDown2 with pri
+	b2 := startFlow(t, s, 3, 1, 1<<40, ClassBulk) // disjoint links
+	rates(t, s)
+
+	approx(t, "priority", pri.Rate(), 100)
+	approx(t, "starved bulk", b1.Rate(), 0)
+	approx(t, "unrelated bulk", b2.Rate(), 100)
+}
+
+// TestIntraRackSkipsTOR: an intra-rack flow only uses the two NICs.
+func TestIntraRackSkipsTOR(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate torUp0 via cross-rack flows, then check an intra-rack
+	// flow still gets its NIC rate.
+	startFlow(t, s, 0, 2, 1<<40, ClassBulk)
+	intra := startFlow(t, s, 1, 0, 1<<40, ClassBulk)
+	rates(t, s)
+	approx(t, "intra", intra.Rate(), 100)
+}
+
+func TestFlowCompletionTime(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := startFlow(t, s, 0, 2, 1000, ClassBulk) // NIC-limited at 100 B/s
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Done() {
+		t.Fatal("flow did not complete")
+	}
+	approx(t, "duration", fl.Duration(), 10)
+}
+
+// TestRateAdaptsAsFlowsFinish: two flows share a NIC; when the short
+// one finishes the survivor speeds up, so its completion time reflects
+// both phases: 500 B at 50 B/s while sharing, then 500 B at 100 B/s.
+func TestRateAdaptsAsFlowsFinish(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := startFlow(t, s, 0, 2, 500, ClassBulk)
+	long := startFlow(t, s, 1, 2, 1000, ClassBulk)
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "short end", short.End, 10)
+	approx(t, "long end", long.End, 15)
+}
+
+func TestZeroByteAndLoopbackFlows(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	done := func(float64) { completions++ }
+	if _, err := s.StartFlow(0, 0, 12345, ClassBulk, done); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartFlow(1, 2, 0, ClassBulk, done); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if completions != 2 {
+		t.Fatalf("completions = %d, want 2", completions)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock advanced to %g for free flows", s.Now())
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartFlow(-1, 0, 1, ClassBulk, nil); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := s.StartFlow(0, 99, 1, ClassBulk, nil); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if _, err := s.StartFlow(0, 1, -5, ClassBulk, nil); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	if _, err := s.StartFlow(0, 1, 1, Class(99), nil); err == nil {
+		t.Error("bogus class accepted")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{},
+		{Racks: 1, MachinesPerRack: 1}, // zero capacities
+		{Racks: -1, MachinesPerRack: 2, NICBytesPerSec: 1, TORUpBytesPerSec: 1, TORDownBytesPerSec: 1, AggBytesPerSec: 1},
+	}
+	for i, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology accepted", i)
+		}
+	}
+	if err := DefaultTopology(20, 10).Validate(); err != nil {
+		t.Errorf("default topology invalid: %v", err)
+	}
+}
+
+func TestSchedulerFIFOAndConcurrencyBound(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicyFIFO, 1)
+	// Two identical jobs into different destinations; with one slot the
+	// second waits for the first (10s at NIC rate).
+	sched.Submit(Job{ID: 1, Dst: 2, Transfers: []Transfer{{Src: 0, Bytes: 1000}}})
+	sched.Submit(Job{ID: 2, Dst: 3, Transfers: []Transfer{{Src: 1, Bytes: 1000}}})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	approx(t, "job1 finish", res[0].Finish, 10)
+	approx(t, "job2 start", res[1].Start, 10)
+	approx(t, "job2 finish", res[1].Finish, 20)
+	approx(t, "job2 wait", res[1].Wait(), 10)
+}
+
+func TestSchedulerSmallestFirst(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicySmallestFirst, 1)
+	// A long job is running; a big and a small job queue behind it. The
+	// small one must run before the big one despite arriving later.
+	sched.Submit(Job{ID: 1, Dst: 2, Transfers: []Transfer{{Src: 0, Bytes: 1000}}})
+	sched.Submit(Job{ID: 2, Dst: 3, Transfers: []Transfer{{Src: 1, Bytes: 4000}}, Submit: 1})
+	sched.Submit(Job{ID: 3, Dst: 3, Transfers: []Transfer{{Src: 1, Bytes: 100}}, Submit: 2})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if res[2].Start >= res[1].Start {
+		t.Fatalf("smallest-first ran big job first: small start %g, big start %g", res[2].Start, res[1].Start)
+	}
+}
+
+func TestSchedulerPriorityLanes(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicyPriorityLanes, 1)
+	// A background repair occupies the only slot; a degraded read
+	// submitted later must not wait for it and, sharing the repair's
+	// destination NIC, must preempt its bandwidth.
+	sched.Submit(Job{ID: 1, Dst: 2, Transfers: []Transfer{{Src: 0, Bytes: 1000}}})
+	sched.Submit(Job{ID: 2, Dst: 2, Transfers: []Transfer{{Src: 1, Bytes: 100}}, Degraded: true, Submit: 1})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if res[1].Wait() != 0 {
+		t.Fatalf("degraded read waited %g s in queue", res[1].Wait())
+	}
+	// Degraded read: 100 B at the full 100 B/s NIC (preempting) = 1s.
+	approx(t, "degraded latency", res[1].TotalSeconds(), 1)
+	// The repair lost 1s of bandwidth: 100 B at t in [1,2) went to the
+	// read, so it finishes at 11s instead of 10.
+	approx(t, "preempted repair finish", res[0].Finish, 11)
+}
+
+func TestForegroundInjectorSaturatesAndStops(t *testing.T) {
+	top := testTopology()
+	s, err := NewSimulator(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ForegroundConfig{Workers: 4, MeanBytes: 200, Until: 50, Seed: 7}
+	if err := InjectForeground(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveFlows() != 0 {
+		t.Fatalf("flows still active after drain: %d", s.ActiveFlows())
+	}
+	if s.Now() < 50 {
+		t.Fatalf("injector stopped early at %g", s.Now())
+	}
+}
+
+// TestDeterminism runs an identical contended scenario twice and
+// requires byte-identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() []JobResult {
+		s, err := NewSimulator(testTopology())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := InjectForeground(s, ForegroundConfig{Workers: 3, MeanBytes: 300, Until: 40, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+		sched := NewScheduler(s, PolicyFIFO, 2)
+		for i := 0; i < 5; i++ {
+			sched.Submit(Job{ID: i, Dst: 2 + i%2, Transfers: []Transfer{{Src: i % 2, Bytes: 500}}, Submit: float64(i)})
+		}
+		if err := s.Run(math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		return sched.Results()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func approx(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	tol := 1e-6 * math.Max(1, math.Abs(want))
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g", what, got, want)
+	}
+}

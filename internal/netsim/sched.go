@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects how the repair scheduler orders its queue.
+type Policy int
+
+const (
+	// PolicyFIFO admits repairs in submission order.
+	PolicyFIFO Policy = iota
+	// PolicySmallestFirst admits the repair with the fewest total bytes
+	// first — shortest-job-first over repair plans, minimising mean
+	// latency at the cost of large-stripe starvation under load.
+	PolicySmallestFirst
+	// PolicyPriorityLanes runs degraded reads immediately in the
+	// priority class (preempting bulk bandwidth) while background
+	// repairs queue FIFO in the bulk class.
+	PolicyPriorityLanes
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicySmallestFirst:
+		return "smallest-first"
+	case PolicyPriorityLanes:
+		return "priority-lanes"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Transfer is one helper-to-destination leg of a repair job.
+type Transfer struct {
+	// Src is the helper machine read from.
+	Src int
+	// Bytes is the leg's download size.
+	Bytes int64
+}
+
+// Job is one repair (or degraded read) to schedule: a fan-in of
+// transfers from surviving helpers to a single destination. The job
+// completes when its last transfer completes.
+type Job struct {
+	// ID tags the job in results.
+	ID int
+	// Dst is the machine reconstructing the block.
+	Dst int
+	// Transfers are the helper reads of the repair plan.
+	Transfers []Transfer
+	// Degraded marks a client-facing degraded read (a block read that
+	// had to reconstruct); the priority-lane policy fast-paths these.
+	Degraded bool
+	// Submit is the simulated time the job enters the queue.
+	Submit float64
+}
+
+// TotalBytes sums the job's transfer sizes.
+func (j *Job) TotalBytes() int64 {
+	var n int64
+	for _, t := range j.Transfers {
+		n += t.Bytes
+	}
+	return n
+}
+
+// JobResult records one scheduled job's timeline.
+type JobResult struct {
+	ID       int
+	Degraded bool
+	Bytes    int64
+	// Submit, Start, Finish are simulated seconds.
+	Submit, Start, Finish float64
+}
+
+// Wait returns the queueing delay before the job's flows started.
+func (r JobResult) Wait() float64 { return r.Start - r.Submit }
+
+// TransferSeconds returns the time the job's flows were in flight.
+func (r JobResult) TransferSeconds() float64 { return r.Finish - r.Start }
+
+// TotalSeconds returns submission-to-completion latency — the repair
+// time a stripe actually spends in degraded state.
+func (r JobResult) TotalSeconds() float64 { return r.Finish - r.Submit }
+
+// Scheduler admits repair jobs onto a Simulator under a concurrency
+// bound and a queueing policy. Create one per simulation run.
+type Scheduler struct {
+	sim           *Simulator
+	policy        Policy
+	maxConcurrent int
+
+	queue   []*queuedJob
+	running int
+	results []JobResult
+}
+
+type queuedJob struct {
+	job         Job
+	outstanding int
+	start       float64
+}
+
+// NewScheduler builds a scheduler over the simulator. maxConcurrent
+// bounds concurrently executing non-degraded jobs; values < 1 are
+// treated as 1. Degraded reads under PolicyPriorityLanes bypass the
+// bound entirely — a client is already blocked on them.
+func NewScheduler(sim *Simulator, policy Policy, maxConcurrent int) *Scheduler {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Scheduler{sim: sim, policy: policy, maxConcurrent: maxConcurrent}
+}
+
+// Submit schedules the job to enter the queue at job.Submit.
+func (s *Scheduler) Submit(job Job) {
+	s.sim.At(job.Submit, func() {
+		qj := &queuedJob{job: job}
+		if s.policy == PolicyPriorityLanes && job.Degraded {
+			s.launch(qj, ClassPriority)
+			return
+		}
+		s.queue = append(s.queue, qj)
+		s.dispatch()
+	})
+}
+
+// dispatch admits queued jobs while concurrency slots are free.
+func (s *Scheduler) dispatch() {
+	for s.running < s.maxConcurrent && len(s.queue) > 0 {
+		idx := 0
+		if s.policy == PolicySmallestFirst {
+			idx = s.smallestIndex()
+		}
+		qj := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.running++
+		s.launch(qj, ClassBulk)
+	}
+}
+
+// smallestIndex returns the queued job with the fewest bytes, breaking
+// ties by arrival order.
+func (s *Scheduler) smallestIndex() int {
+	best := 0
+	bestBytes := s.queue[0].job.TotalBytes()
+	for i := 1; i < len(s.queue); i++ {
+		if b := s.queue[i].job.TotalBytes(); b < bestBytes {
+			best, bestBytes = i, b
+		}
+	}
+	return best
+}
+
+// launch starts every transfer of the job in the given class. counted
+// reflects whether the job holds a concurrency slot (degraded
+// fast-path jobs do not).
+func (s *Scheduler) launch(qj *queuedJob, class Class) {
+	qj.start = s.sim.Now()
+	counted := class == ClassBulk
+	live := 0
+	for _, tr := range qj.job.Transfers {
+		if tr.Src == qj.job.Dst || tr.Bytes == 0 {
+			continue // loopback or empty legs cost nothing on the wire
+		}
+		live++
+	}
+	qj.outstanding = live
+	if live == 0 {
+		s.finish(qj, counted)
+		return
+	}
+	for _, tr := range qj.job.Transfers {
+		if tr.Src == qj.job.Dst || tr.Bytes == 0 {
+			continue
+		}
+		// Errors are impossible here by construction (endpoints come
+		// from the same topology); surface them loudly if not.
+		if _, err := s.sim.StartFlow(tr.Src, qj.job.Dst, tr.Bytes, class, func(float64) {
+			qj.outstanding--
+			if qj.outstanding == 0 {
+				s.finish(qj, counted)
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("netsim: scheduler launch: %v", err))
+		}
+	}
+}
+
+// finish records the job and frees its slot.
+func (s *Scheduler) finish(qj *queuedJob, counted bool) {
+	s.results = append(s.results, JobResult{
+		ID:       qj.job.ID,
+		Degraded: qj.job.Degraded,
+		Bytes:    qj.job.TotalBytes(),
+		Submit:   qj.job.Submit,
+		Start:    qj.start,
+		Finish:   s.sim.Now(),
+	})
+	if counted {
+		s.running--
+		s.dispatch()
+	}
+}
+
+// Results returns the completed jobs sorted by ID (stable regardless of
+// completion order).
+func (s *Scheduler) Results() []JobResult {
+	out := append([]JobResult(nil), s.results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Pending returns queued plus running job counts (for tests).
+func (s *Scheduler) Pending() int { return len(s.queue) + s.running }

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rs"
+)
+
+// testContentionConfig is a small saturating-load configuration sized
+// for unit-test runtimes: a 15-rack fabric (RS(10,4)'s 14-wide stripes
+// plus one fresh rack) with 16 closed-loop foreground workers against a
+// 1 GB/s core.
+func testContentionConfig() ContentionConfig {
+	return ContentionConfig{
+		Topology: netsim.Topology{
+			Racks:              15,
+			MachinesPerRack:    3,
+			NICBytesPerSec:     125e6,
+			TORUpBytesPerSec:   250e6,
+			TORDownBytesPerSec: 250e6,
+			AggBytesPerSec:     1e9,
+		},
+		Policy:               netsim.PolicyFIFO,
+		MaxConcurrentRepairs: 4,
+		RepairsPerDay:        10,
+		DegradedReadsPerDay:  3,
+		ForegroundWorkers:    16,
+		ForegroundMeanBytes:  64 << 20,
+		WindowSeconds:        300,
+		MaxDays:              2,
+		Seed:                 1,
+	}
+}
+
+func TestContentionStudyValidation(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 2)
+
+	if _, err := (&ContentionStudy{Config: testContentionConfig()}).Run(tr); err == nil {
+		t.Error("nil code accepted")
+	}
+	if _, err := (&ContentionStudy{Code: rsc, Config: testContentionConfig()}).Run(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	cfg := testContentionConfig()
+	cfg.Topology.Racks = 14 // == stripe width: no fresh rack for rebuilds
+	if _, err := (&ContentionStudy{Code: rsc, Config: cfg}).Run(tr); err == nil {
+		t.Error("too-narrow topology accepted")
+	}
+	cfg = testContentionConfig()
+	cfg.RepairsPerDay = 0
+	if _, err := (&ContentionStudy{Code: rsc, Config: cfg}).Run(tr); err == nil {
+		t.Error("zero RepairsPerDay accepted")
+	}
+	cfg = testContentionConfig()
+	cfg.WindowSeconds = -5
+	if _, err := (&ContentionStudy{Code: rsc, Config: cfg}).Run(tr); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// TestContentionPiggybackBeatsRSAtP99 is the acceptance criterion: at a
+// saturating foreground load, Piggybacked-RS must beat RS-(10,4) on p99
+// simulated repair latency, because each repair ships ~30% fewer bytes
+// through the contended fabric and queues drain faster.
+func TestContentionPiggybackBeatsRSAtP99(t *testing.T) {
+	rsc, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := core.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 4)
+	cmp, err := CompareContention(rsc, pb, tr, testContentionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, c := cmp.Baseline, cmp.Candidate
+	if b.Repairs == 0 || c.Repairs == 0 {
+		t.Fatalf("no repairs simulated: rs=%d pbrs=%d", b.Repairs, c.Repairs)
+	}
+	if b.Repairs != c.Repairs {
+		t.Fatalf("codes saw different repair counts: rs=%d pbrs=%d", b.Repairs, c.Repairs)
+	}
+	if c.RepairP99 >= b.RepairP99 {
+		t.Fatalf("piggybacked p99 %.2fs not better than RS p99 %.2fs", c.RepairP99, b.RepairP99)
+	}
+	if c.RepairMean >= b.RepairMean {
+		t.Fatalf("piggybacked mean %.2fs not better than RS mean %.2fs", c.RepairMean, b.RepairMean)
+	}
+	if imp := cmp.RepairP99Improvement(); imp <= 0 || imp >= 1 {
+		t.Fatalf("p99 improvement %v out of (0,1)", imp)
+	}
+	// Contention must actually bite: loaded degraded reads slower than
+	// the unloaded baseline.
+	if b.DegradedReads == 0 || b.DegradedSlowdownP50 < 1 {
+		t.Fatalf("degraded slowdown %v, want >= 1 (reads=%d)", b.DegradedSlowdownP50, b.DegradedReads)
+	}
+}
+
+// TestContentionDeterminism: identical seeds must reproduce every
+// statistic bit-for-bit.
+func TestContentionDeterminism(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 3)
+	cfg := testContentionConfig()
+	cfg.MaxDays = 2
+	run := func() *ContentionResult {
+		res, err := (&ContentionStudy{Code: rsc, Config: cfg}).Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("non-deterministic contention study:\n%+v\n%+v", *a, *b)
+	}
+}
+
+// TestContentionUnloadedFasterThanLoaded: removing the foreground load
+// must not slow repairs down.
+func TestContentionQuietFabricIsFaster(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 2)
+	loadedCfg := testContentionConfig()
+	quietCfg := testContentionConfig()
+	quietCfg.ForegroundWorkers = 0
+	loaded, err := (&ContentionStudy{Code: rsc, Config: loadedCfg}).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := (&ContentionStudy{Code: rsc, Config: quietCfg}).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.RepairP99 > loaded.RepairP99 {
+		t.Fatalf("quiet fabric p99 %.2fs worse than loaded %.2fs", quiet.RepairP99, loaded.RepairP99)
+	}
+}
+
+// TestContentionPolicies: every policy runs, and smallest-first cannot
+// be worse than FIFO on mean repair latency (it is optimal for mean
+// wait in a single queue).
+func TestContentionPolicies(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 2)
+	results := make(map[netsim.Policy]*ContentionResult)
+	for _, policy := range []netsim.Policy{netsim.PolicyFIFO, netsim.PolicySmallestFirst, netsim.PolicyPriorityLanes} {
+		cfg := testContentionConfig()
+		cfg.Policy = policy
+		res, err := (&ContentionStudy{Code: rsc, Config: cfg}).Run(tr)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Repairs == 0 {
+			t.Fatalf("%v: no repairs", policy)
+		}
+		if res.Policy != policy.String() {
+			t.Fatalf("result policy %q, want %q", res.Policy, policy.String())
+		}
+		results[policy] = res
+	}
+	// Priority lanes must not leave degraded reads queueing behind
+	// repairs: their p50 cannot exceed the FIFO p50 where they share
+	// the repair queue.
+	if pl, fifo := results[netsim.PolicyPriorityLanes], results[netsim.PolicyFIFO]; pl.DegradedP50 > fifo.DegradedP50 {
+		t.Fatalf("priority-lane degraded p50 %.2fs worse than FIFO's %.2fs", pl.DegradedP50, fifo.DegradedP50)
+	}
+}

@@ -18,6 +18,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -110,6 +111,27 @@ func PaperFailureMix() FailureMix {
 	return FailureMix{Single: 0.9808, Double: 0.0187, TriplePlus: 0.0005}
 }
 
+// mixSumEpsilon is the tolerance on a FailureMix summing to 1 — wide
+// enough for published rounded percentages, tight enough to reject a
+// mix that was never normalised.
+const mixSumEpsilon = 1e-3
+
+// Validate reports whether the mix is usable: all fractions
+// non-negative and summing to 1 within mixSumEpsilon. The zero value is
+// rejected here; Study.Run treats it as SinglesOnlyMix before
+// validating.
+func (m FailureMix) Validate() error {
+	if m.Single < 0 || m.Double < 0 || m.TriplePlus < 0 {
+		return fmt.Errorf("sim: FailureMix fractions must be non-negative, got single=%g double=%g triple=%g",
+			m.Single, m.Double, m.TriplePlus)
+	}
+	sum := m.Single + m.Double + m.TriplePlus
+	if math.Abs(sum-1) > mixSumEpsilon {
+		return fmt.Errorf("sim: FailureMix fractions sum to %g, want 1 (±%g)", sum, mixSumEpsilon)
+	}
+	return nil
+}
+
 // SinglesOnlyMix attributes every recovery to a single-failure stripe —
 // the simpler model, and an upper bound on traffic.
 func SinglesOnlyMix() FailureMix {
@@ -189,6 +211,23 @@ func buildMultiScale(code ec.Code, m int) (planScale, error) {
 	}, nil
 }
 
+// splitJointCost apportions a joint repair's total cost to the missing
+// block occupying the given slot of its stripe: every slot gets the
+// truncated equal share, and the remainder bytes go one each to the
+// first total%share slots. Summing over slots [0, share) returns total
+// exactly — the conservation property TestSplitJointCostConservation
+// pins down.
+func splitJointCost(total, share, slot int64) int64 {
+	if share <= 1 {
+		return total
+	}
+	portion := total / share
+	if slot < total%share {
+		portion++
+	}
+	return portion
+}
+
 // Run replays the trace and returns the study result. The trace is not
 // modified and may be shared across concurrent runs.
 func (s *Study) Run(tr *workload.Trace) (*Result, error) {
@@ -205,6 +244,9 @@ func (s *Study) Run(tr *workload.Trace) (*Result, error) {
 	mix := s.Mix
 	if mix.Single == 0 && mix.Double == 0 && mix.TriplePlus == 0 {
 		mix = SinglesOnlyMix()
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
 	}
 	_, b2, b3 := mix.blockFractions()
 	var double, triple planScale
@@ -231,6 +273,12 @@ func (s *Study) Run(tr *workload.Trace) (*Result, error) {
 	// pair and every ~680th to a triple, deterministically and
 	// identically across codes.
 	var acc2, acc3 float64
+	// slot2/slot3 cycle each joint-repaired block through its virtual
+	// stripe's slots so splitJointCost can hand remainder bytes to the
+	// early slots: the sum over a stripe's missing blocks then equals
+	// the joint plan cost exactly instead of losing up to share-1 bytes
+	// per block to double truncation.
+	var slot2, slot3 int64
 	for i, day := range tr.Days {
 		ds := DayStats{
 			Day:                 day.Index,
@@ -242,22 +290,27 @@ func (s *Study) Run(tr *workload.Trace) (*Result, error) {
 			ev.ReplayBlocks(tr.Config, width, func(d workload.BlockDraw) {
 				// Pick the block's failure category.
 				sc := scales[d.StripePos]
-				share := int64(1)
+				share, slot := int64(1), int64(0)
 				acc2 += b2
 				acc3 += b3
 				switch {
 				case acc3 >= 1:
 					acc3--
 					sc, share = triple, 3
+					slot = slot3
+					slot3 = (slot3 + 1) % 3
 				case acc2 >= 1:
 					acc2--
 					sc, share = double, 2
+					slot = slot2
+					slot2 = (slot2 + 1) % 2
 				}
 				// Shard sizes are even; units are per 2 bytes. Joint
 				// repairs split their cost across the stripe's missing
-				// blocks.
-				bytes := sc.totalUnits * d.Bytes / 2 / share
-				maxSrc := sc.maxUnits * d.Bytes / 2 / share
+				// blocks, remainder to the early slots so per-stripe
+				// totals conserve the plan cost byte-for-byte.
+				bytes := splitJointCost(sc.totalUnits*d.Bytes/2, share, slot)
+				maxSrc := splitJointCost(sc.maxUnits*d.Bytes/2, share, slot)
 				ds.BlocksReconstructed++
 				ds.CrossRackBytes += bytes
 				secs := s.Bandwidth.RecoveryTime(bytes, maxSrc).Seconds()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lrc"
 	"repro/internal/rs"
@@ -312,4 +313,108 @@ func TestMeanRecoveryTimePerBlockZeroBlocks(t *testing.T) {
 	if r.MeanCrossRackBytesPerDay() != 0 {
 		t.Fatal("no days must yield zero mean bytes")
 	}
+}
+
+func TestFailureMixValidate(t *testing.T) {
+	bad := []FailureMix{
+		{Single: -0.1, Double: 0.6, TriplePlus: 0.5}, // negative fraction
+		{Single: 0.5, Double: 0.2, TriplePlus: 0.1},  // sums to 0.8
+		{Single: 2, Double: 0, TriplePlus: 0},        // sums to 2
+		{Single: 1.5, Double: -0.5, TriplePlus: 0},   // sums to 1 but negative
+		{}, // zero value: not a distribution
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid mix %+v accepted", i, m)
+		}
+	}
+	good := []FailureMix{
+		PaperFailureMix(),
+		SinglesOnlyMix(),
+		{Single: 0.98, Double: 0.0195, TriplePlus: 0.0005},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("case %d: valid mix %+v rejected: %v", i, m, err)
+		}
+	}
+}
+
+func TestStudyRunRejectsGarbageMix(t *testing.T) {
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 2)
+	for _, m := range []FailureMix{
+		{Single: -1, Double: 1, TriplePlus: 1},
+		{Single: 0.2, Double: 0.1, TriplePlus: 0.1},
+	} {
+		study := NewStudy(rsc)
+		study.Mix = m
+		if _, err := study.Run(tr); err == nil {
+			t.Errorf("Study.Run accepted garbage mix %+v", m)
+		}
+	}
+	// The zero value must still behave as SinglesOnlyMix, not error.
+	study := NewStudy(rsc)
+	study.Mix = FailureMix{}
+	if _, err := study.Run(tr); err != nil {
+		t.Errorf("zero-value mix rejected: %v", err)
+	}
+}
+
+func TestSplitJointCostConservation(t *testing.T) {
+	// The sum over a stripe's missing-block slots must equal the joint
+	// plan cost exactly, for totals that do and do not divide evenly.
+	for _, share := range []int64{1, 2, 3} {
+		for _, total := range []int64{0, 1, 2, 3, 7, 1000, 999999999999, 54043195528445952} {
+			var sum int64
+			for slot := int64(0); slot < share; slot++ {
+				part := splitJointCost(total, share, slot)
+				if part < 0 {
+					t.Fatalf("negative portion %d (total=%d share=%d slot=%d)", part, total, share, slot)
+				}
+				sum += part
+			}
+			if sum != total {
+				t.Errorf("share=%d total=%d: slots sum to %d, dropped %d bytes",
+					share, total, sum, total-sum)
+			}
+		}
+	}
+}
+
+func TestJointCostsConservedAcrossStudy(t *testing.T) {
+	// With an all-doubles mix, every pair of consecutive same-category
+	// blocks forms one virtual stripe; total traffic must be even-split
+	// conserved rather than losing a byte per odd-cost stripe. Compare
+	// against an independent replay of the expected sums.
+	rsc, _ := rs.New(10, 4)
+	tr := testTrace(t, 4)
+	study := &Study{Code: rsc, Bandwidth: DefaultTestBandwidth(), Mix: FailureMix{Double: 1}}
+	res, err := study.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := buildMultiScale(rsc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	slot := int64(0)
+	for _, day := range tr.Days {
+		for _, ev := range day.Triggered {
+			ev.ReplayBlocks(tr.Config, rsc.TotalShards(), func(d workload.BlockDraw) {
+				want += splitJointCost(double.totalUnits*d.Bytes/2, 2, slot)
+				slot = (slot + 1) % 2
+			})
+		}
+	}
+	if res.TotalCrossRackBytes != want {
+		t.Fatalf("study total %d, independent replay %d", res.TotalCrossRackBytes, want)
+	}
+}
+
+// DefaultTestBandwidth returns a valid bandwidth model for studies that
+// construct Study directly.
+func DefaultTestBandwidth() cluster.BandwidthModel {
+	return cluster.DefaultBandwidthModel()
 }

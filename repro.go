@@ -38,6 +38,21 @@
 // cmd/repaircost -engine measures batch repair throughput across
 // parallelism levels and emits machine-readable BENCH_engine.json for
 // trend tracking; see README.md for how to run and interpret it.
+//
+// # Contention model
+//
+// The analytic study costs each repair in isolation; the contention
+// layer costs them against each other. RunContentionStudy replays a
+// trace through an event-driven fluid-flow fabric (FabricTopology: NIC,
+// TOR, and aggregation-switch capacities; max-min fair sharing with
+// priority classes) behind a repair scheduler (PolicyFIFO,
+// PolicySmallestFirst, PolicyPriorityLanes) while closed-loop
+// foreground map-reduce load keeps the core saturated, yielding p50/p99
+// repair latency and degraded-read slowdown per codec.
+// cmd/repaircost -contention writes the RS versus Piggybacked-RS
+// head-to-head to BENCH_contention.json, and a MiniHDFS configured with
+// HDFSConfig.Fabric timestamps its BlockFixer passes through the same
+// model.
 package repro
 
 import (
@@ -50,6 +65,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/layout"
 	"repro/internal/lrc"
+	"repro/internal/netsim"
 	"repro/internal/regenerating"
 	"repro/internal/reliability"
 	"repro/internal/rs"
@@ -257,6 +273,62 @@ type BacklogResult = sim.BacklogResult
 // contention between recovery and foreground map-reduce traffic.
 func RecoveryBacklog(res *StudyResult, budgetBytesPerDay int64) (*BacklogResult, error) {
 	return sim.RecoveryBacklog(res, budgetBytesPerDay)
+}
+
+// --- Contention-aware network simulation -------------------------------
+
+// FabricTopology describes the simulated fabric of the contention
+// model: racks of machines behind TOR switches joined by an aggregation
+// switch, with a bytes/second capacity at every level.
+type FabricTopology = netsim.Topology
+
+// DefaultFabricTopology returns a 2013-era fabric: 1 GbE NICs,
+// oversubscribed 5 Gb/s TOR links, a 40 Gb/s aggregation core.
+func DefaultFabricTopology(racks, machinesPerRack int) FabricTopology {
+	return netsim.DefaultTopology(racks, machinesPerRack)
+}
+
+// SchedulerPolicy selects how the contention model's repair scheduler
+// orders its queue.
+type SchedulerPolicy = netsim.Policy
+
+// Scheduler policies: FIFO admission, smallest-plan-first, or priority
+// lanes in which degraded reads preempt background repairs.
+const (
+	PolicyFIFO          = netsim.PolicyFIFO
+	PolicySmallestFirst = netsim.PolicySmallestFirst
+	PolicyPriorityLanes = netsim.PolicyPriorityLanes
+)
+
+// ContentionConfig parameterises a contention study: fabric, scheduler
+// policy, repair concurrency, sampling density, and foreground load.
+type ContentionConfig = sim.ContentionConfig
+
+// ContentionResult is the distributional outcome of a contention study:
+// p50/p99 repair latency and degraded-read slowdown under load.
+type ContentionResult = sim.ContentionResult
+
+// ContentionComparison is a head-to-head contention costing of two
+// codecs on the identical trace and foreground process.
+type ContentionComparison = sim.ContentionComparison
+
+// DefaultContentionConfig returns a saturating-load configuration that
+// runs in seconds.
+func DefaultContentionConfig() ContentionConfig { return sim.DefaultContentionConfig() }
+
+// RunContentionStudy replays the trace through the event-driven
+// contended fabric under the codec, reporting simulated repair
+// latencies (queueing included) and degraded-read slowdowns instead of
+// the isolated-transfer estimates of RunStudy.
+func RunContentionStudy(c Codec, tr *Trace, cfg ContentionConfig) (*ContentionResult, error) {
+	return (&sim.ContentionStudy{Code: c, Config: cfg}).Run(tr)
+}
+
+// CompareContentionCodecs runs the contention study for a baseline and
+// a candidate codec over the same trace, foreground process, and
+// placement stream — the §2.2 operational claim, measured.
+func CompareContentionCodecs(baseline, candidate Codec, tr *Trace, cfg ContentionConfig) (*ContentionComparison, error) {
+	return sim.CompareContention(baseline, candidate, tr, cfg)
 }
 
 // StripeFailureConfig parameterises the §2.2 concurrent-failure

@@ -304,3 +304,123 @@ func TestEncodeParallelNilEngine(t *testing.T) {
 		t.Fatalf("consumed %d bytes, want %d", n, len(data))
 	}
 }
+
+func TestStreamDecodeTruncatedShard(t *testing.T) {
+	// A shard stream shorter than ShardStreamSize must fail with a
+	// wrapped read error naming the shard, not corrupt output.
+	sc, code := newStream(t)
+	data := randomBytes(5000, 5)
+	shards, n := encodeToBuffers(t, sc, code, data)
+
+	readers := make([]io.Reader, len(shards))
+	for i := range shards {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	// Truncate shard 3 to half a chunk.
+	readers[3] = bytes.NewReader(shards[3][:sc.ChunkSize()/2])
+	var out bytes.Buffer
+	err := sc.Decode(readers, &out, n)
+	if err == nil {
+		t.Fatal("decode of truncated shard stream succeeded")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("error %v does not wrap an EOF condition", err)
+	}
+}
+
+func TestStreamRepairShardTruncatedInput(t *testing.T) {
+	sc, code := newStream(t)
+	data := randomBytes(5000, 6)
+	shards, n := encodeToBuffers(t, sc, code, data)
+
+	readers := make([]io.Reader, len(shards))
+	for i := range shards {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	readers[0] = nil                             // the shard to repair
+	readers[5] = bytes.NewReader(shards[5][:10]) // truncated survivor
+	var out bytes.Buffer
+	if err := sc.RepairShard(0, readers, &out, n); err == nil {
+		t.Fatal("repair from truncated shard stream succeeded")
+	}
+}
+
+func TestStreamDecodeZeroDataLen(t *testing.T) {
+	// dataLen == 0 is a valid degenerate request: write nothing, read
+	// nothing, succeed — even when shard readers are empty.
+	sc, code := newStream(t)
+	readers := make([]io.Reader, code.TotalShards())
+	for i := range readers {
+		readers[i] = bytes.NewReader(nil)
+	}
+	var out bytes.Buffer
+	if err := sc.Decode(readers, &out, 0); err != nil {
+		t.Fatalf("Decode(dataLen=0) = %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("Decode(dataLen=0) wrote %d bytes", out.Len())
+	}
+}
+
+func TestStreamRepairShardZeroDataLen(t *testing.T) {
+	sc, code := newStream(t)
+	readers := make([]io.Reader, code.TotalShards())
+	for i := 1; i < len(readers); i++ {
+		readers[i] = bytes.NewReader(nil)
+	}
+	var out bytes.Buffer
+	if err := sc.RepairShard(0, readers, &out, 0); err != nil {
+		t.Fatalf("RepairShard(dataLen=0) = %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("RepairShard(dataLen=0) wrote %d bytes", out.Len())
+	}
+}
+
+func TestStreamDecodeAllParityMissing(t *testing.T) {
+	// Every parity stream lost: the k data streams alone must decode.
+	sc, code := newStream(t)
+	data := randomBytes(20000, 7)
+	shards, n := encodeToBuffers(t, sc, code, data)
+
+	readers := make([]io.Reader, len(shards))
+	for i := 0; i < code.DataShards(); i++ {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	var out bytes.Buffer
+	if err := sc.Decode(readers, &out, n); err != nil {
+		t.Fatalf("all-parity-missing decode failed: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("all-parity-missing decode corrupted data")
+	}
+}
+
+func TestStreamRepairParityFromDataOnly(t *testing.T) {
+	// Reconstruct one parity stream with every other parity missing:
+	// exactly k survivors, all of them data shards.
+	sc, code := newStream(t)
+	data := randomBytes(20000, 8)
+	shards, n := encodeToBuffers(t, sc, code, data)
+
+	k := code.DataShards()
+	target := k + 1 // a parity position
+	readers := make([]io.Reader, len(shards))
+	for i := 0; i < k; i++ {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	var out bytes.Buffer
+	if err := sc.RepairShard(target, readers, &out, n); err != nil {
+		t.Fatalf("parity repair from data-only survivors failed: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), shards[target]) {
+		t.Fatal("repaired parity stream differs from original")
+	}
+}
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
