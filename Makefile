@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck fmt fmtcheck test race bench benchsmoke engine-bench contention-bench ci
+.PHONY: build vet staticcheck fmt fmtcheck test race bench benchsmoke engine-bench contention-bench serve-bench ci
 
 build:
 	$(GO) build ./...
@@ -34,18 +34,21 @@ test:
 
 # Race detector on the concurrency-sensitive packages: the stripe-repair
 # engine, the simulator (analytic and contention studies), the netsim
-# fabric, and the mini-HDFS whose BlockFixer runs repairs through the
-# engine and records transfers for the contention model.
+# fabric, the mini-HDFS (RWMutex metadata + per-datanode locks under
+# concurrent readers/writers/fixer), and the TCP serving layer.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/...
+	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/... ./internal/serve/...
 
 # Full benchmark run (regenerates the paper's numbers as metrics).
 bench:
 	$(GO) test -run=NoTests -bench=. ./...
 
-# One-iteration pass over every benchmark so bench code cannot rot.
+# One-iteration pass over every benchmark so bench code cannot rot,
+# plus a 2-second loadgen run on a tiny live TCP cluster so the serving
+# layer's end-to-end path (kill mid-run included) cannot rot either.
 benchsmoke:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
 
 # Regenerate BENCH_engine.json (batch repair throughput, serial vs
 # engine-parallel).
@@ -56,5 +59,10 @@ engine-bench:
 # latency on the contended fabric). Deterministic for a fixed -seed.
 contention-bench:
 	$(GO) run ./cmd/repaircost -contention
+
+# Regenerate BENCH_serve.json (client-visible latency/throughput and
+# degraded-read share from a live TCP cluster with a mid-run kill).
+serve-bench:
+	$(GO) run ./cmd/loadgen
 
 ci: build vet staticcheck fmtcheck test race benchsmoke

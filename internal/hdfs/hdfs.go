@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -151,9 +152,11 @@ type fileMeta struct {
 	size   int64
 	blocks []BlockID
 	raided bool
-	// lastAccess is the logical-clock time of the last write or read;
-	// the RaidNode's cold-data policy keys off it (§2.1).
-	lastAccess time.Duration
+	// lastAccess is the logical-clock time (as nanoseconds) of the last
+	// write or read; the RaidNode's cold-data policy keys off it (§2.1).
+	// It is atomic so the read path can bump it while holding only the
+	// metadata read lock.
+	lastAccess atomic.Int64
 }
 
 // Config parameterises a Cluster.
@@ -228,14 +231,35 @@ func (c Config) fabricTopology() netsim.Topology {
 }
 
 // Cluster is the miniature DFS.
+//
+// Locking is layered so a serving frontend can drive many operations
+// concurrently (race-detector clean):
+//
+//   - mu, a RWMutex, guards the namenode metadata (files, blocks,
+//     stripes, id counters, clock). Healthy reads and degraded-read
+//     reconstructions hold it in read mode and proceed in parallel;
+//     mutations (writes, raiding, fixer planning/application) hold it
+//     exclusively.
+//   - Each dataNode has its own leaf mutex guarding its block store and
+//     liveness flag, so block I/O on different machines never contends.
+//   - rngMu serialises the placement rng, which is consumed from both
+//     read paths (replica choice, degraded-read destinations) and write
+//     paths. Placement stays deterministic for a fixed seed under
+//     serial use.
+//   - fixerMu serialises whole BlockFixer passes (one fixer at a time,
+//     as in production HDFS-RAID) so a pass can release mu while its
+//     stripe decodes run on the engine.
 type Cluster struct {
 	cfg   Config
 	net   *cluster.Network
 	nodes []*dataNode
 	eng   *engine.Engine
 
-	mu         sync.Mutex
-	rng        *rand.Rand
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	fixerMu sync.Mutex
+
+	mu         sync.RWMutex
 	files      map[string]*fileMeta
 	blocks     map[BlockID]*blockMeta
 	stripes    map[StripeID]*stripeMeta
@@ -273,6 +297,40 @@ func New(cfg Config) (*Cluster, error) {
 // Network exposes the byte-accounting fabric.
 func (c *Cluster) Network() *cluster.Network { return c.net }
 
+// randIntn draws from the placement rng under its own mutex, so both
+// read paths (replica choice) and write paths (placement) share one
+// deterministic stream.
+func (c *Cluster) randIntn(n int) int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// placeStripe draws a rack-disjoint placement from the shared rng.
+func (c *Cluster) placeStripe(n int) ([]int, error) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return cluster.PlaceStripe(c.rng, c.cfg.Topology, n)
+}
+
+// pickReplacement draws a replacement machine from the shared rng.
+func (c *Cluster) pickReplacement(excludeRacks map[int]bool) (int, error) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return cluster.PickReplacement(c.rng, c.cfg.Topology, excludeRacks)
+}
+
+// pickReplica returns a random live holder so read load spreads across
+// replicas instead of always hammering the first recorded location.
+// The draw comes from the cluster's seeded rng: deterministic for a
+// fixed seed under serial use.
+func (c *Cluster) pickReplica(live []int) int {
+	if len(live) == 1 {
+		return live[0]
+	}
+	return live[c.randIntn(len(live))]
+}
+
 // Code returns the configured codec.
 func (c *Cluster) Code() ec.Code { return c.cfg.Code }
 
@@ -286,7 +344,8 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 	if _, ok := c.files[name]; ok {
 		return fmt.Errorf("%w: %s", ErrFileExists, name)
 	}
-	fm := &fileMeta{name: name, size: int64(len(data)), lastAccess: c.now}
+	fm := &fileMeta{name: name, size: int64(len(data))}
+	fm.lastAccess.Store(int64(c.now))
 	for off := int64(0); off < int64(len(data)); off += c.cfg.BlockSize {
 		end := off + c.cfg.BlockSize
 		if end > int64(len(data)) {
@@ -304,11 +363,11 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 		}
 		machines, err := c.placeLiveLocked(c.cfg.Replication)
 		if err != nil {
-			return err
+			return c.rollbackWriteLocked(fm, err)
 		}
 		for _, m := range machines {
 			if err := c.nodes[m].store(id, data[off:end]); err != nil {
-				return err
+				return c.rollbackWriteLocked(fm, err)
 			}
 			bm.locations = append(bm.locations, m)
 		}
@@ -319,11 +378,26 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 	return nil
 }
 
+// rollbackWriteLocked undoes a partial WriteFile: blocks already placed
+// for the never-published file are removed from the namespace and from
+// their holders, so a failed write leaves no orphan metadata for the
+// fixer to chase.
+func (c *Cluster) rollbackWriteLocked(fm *fileMeta, cause error) error {
+	for _, id := range fm.blocks {
+		bm := c.blocks[id]
+		for _, m := range bm.locations {
+			c.nodes[m].delete(id)
+		}
+		delete(c.blocks, id)
+	}
+	return cause
+}
+
 // placeLiveLocked selects n machines on distinct racks, substituting a
 // live machine (on an unused rack where possible) for any dead pick —
 // the namenode never targets a machine that missed its heartbeat.
 func (c *Cluster) placeLiveLocked(n int) ([]int, error) {
-	placement, err := cluster.PlaceStripe(c.rng, c.cfg.Topology, n)
+	placement, err := c.placeStripe(n)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +410,7 @@ func (c *Cluster) placeLiveLocked(n int) ([]int, error) {
 			continue
 		}
 		delete(used, c.cfg.Topology.RackOf(m))
-		alt, err := c.pickLiveMachineLocked(used)
+		alt, err := c.pickLiveMachine(used)
 		if err != nil {
 			return nil, err
 		}
@@ -360,54 +434,72 @@ func (c *Cluster) liveLocations(bm *blockMeta) []int {
 // ReadFile returns the file's contents, reconstructing missing striped
 // blocks on the fly (degraded read) and charging that traffic to the
 // network fabric. Reads of healthy replicas are not charged: the paper
-// measures recovery traffic, not foreground traffic.
+// measures recovery traffic, not foreground traffic. Reads hold the
+// metadata lock in read mode, so any number of healthy reads and
+// degraded reconstructions run in parallel.
 func (c *Cluster) ReadFile(name string) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
 	}
-	fm.lastAccess = c.now
+	fm.lastAccess.Store(int64(c.now))
 	out := make([]byte, 0, fm.size)
 	for _, id := range fm.blocks {
-		bm := c.blocks[id]
-		if live := c.liveLocations(bm); len(live) > 0 {
-			buf, err := c.nodes[live[0]].readRange(id, 0, bm.size)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, buf...)
-			continue
-		}
-		// Degraded read: reconstruct the block at a live machine on a
-		// rack the stripe does not occupy, so every helper read crosses
-		// racks — the same accounting as a fixer repair.
-		if bm.stripe == noStripe {
-			return nil, fmt.Errorf("%w: block %d of %s", ErrBlockLost, bm.id, name)
-		}
-		reader, err := c.pickLiveMachineLocked(c.excludeRacksLocked(c.stripes[bm.stripe], bm.id))
+		buf, err := c.readBlockLocked(c.blocks[id])
 		if err != nil {
 			return nil, err
 		}
-		buf, err := c.reconstructBlockLocked(bm, reader)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, buf[:bm.size]...)
+		out = append(out, buf...)
 	}
 	return out, nil
 }
 
-// pickLiveMachineLocked returns a random live machine, avoiding racks in
-// the exclusion set when possible.
-func (c *Cluster) pickLiveMachineLocked(excludeRacks map[int]bool) (int, error) {
-	if m, err := cluster.PickReplacement(c.rng, c.cfg.Topology, excludeRacks); err == nil && c.nodes[m].isAlive() {
+// readBlockLocked returns one block's payload: live replicas are tried
+// in random order (so read load spreads across holders); when none
+// survives — or a holder dies between the liveness check and the read —
+// the block is reconstructed at a live machine on a rack the stripe
+// does not occupy, so every helper read crosses racks, the same
+// accounting as a fixer repair. Callers hold c.mu in at least read
+// mode.
+func (c *Cluster) readBlockLocked(bm *blockMeta) ([]byte, error) {
+	live := c.liveLocations(bm)
+	for len(live) > 0 {
+		i := 0
+		if len(live) > 1 {
+			i = c.randIntn(len(live))
+		}
+		buf, err := c.nodes[live[i]].readRange(bm.id, 0, bm.size)
+		if err == nil {
+			return buf, nil
+		}
+		live = append(live[:i], live[i+1:]...)
+	}
+	if bm.stripe == noStripe {
+		return nil, fmt.Errorf("%w: block %d of %s", ErrBlockLost, bm.id, bm.file)
+	}
+	reader, err := c.pickLiveMachine(c.excludeRacksLocked(c.stripes[bm.stripe], bm.id))
+	if err != nil {
+		return nil, err
+	}
+	buf, err := c.reconstructBlockLocked(bm, reader)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:bm.size], nil
+}
+
+// pickLiveMachine returns a random live machine, avoiding racks in the
+// exclusion set when possible. It touches only the rng (behind rngMu)
+// and the per-node liveness flags, so it is callable from read paths.
+func (c *Cluster) pickLiveMachine(excludeRacks map[int]bool) (int, error) {
+	if m, err := c.pickReplacement(excludeRacks); err == nil && c.nodes[m].isAlive() {
 		return m, nil
 	}
 	// Retry a bounded number of times, then scan.
 	for i := 0; i < 32; i++ {
-		m := c.rng.Intn(len(c.nodes))
+		m := c.randIntn(len(c.nodes))
 		if c.nodes[m].isAlive() && !excludeRacks[c.cfg.Topology.RackOf(m)] {
 			return m, nil
 		}
@@ -478,7 +570,7 @@ func (c *Cluster) raidStripeLocked(group []BlockID) error {
 	// Encoder machine reads every data block (cross-rack traffic: the
 	// raid encoding itself is not free, it is simply not the quantity
 	// the paper measures; tests reset counters after raiding).
-	encoder, err := c.pickLiveMachineLocked(nil)
+	encoder, err := c.pickLiveMachine(nil)
 	if err != nil {
 		return err
 	}
@@ -590,10 +682,11 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
-// stripeAlive reports per-position availability: phantom positions are
-// always available (they are known zeros), real positions require a
-// live holder.
-func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
+// stripeAliveLocked reports per-position availability: phantom
+// positions are always available (they are known zeros), real positions
+// require a live holder. Callers hold c.mu in at least read mode for
+// every invocation of the returned func.
+func (c *Cluster) stripeAliveLocked(sm *stripeMeta) ec.AliveFunc {
 	return func(pos int) bool {
 		if pos < 0 || pos >= len(sm.blocks) {
 			return false
@@ -606,14 +699,26 @@ func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
 	}
 }
 
-// stripeFetch builds the codec fetch function for a stripe: phantom
-// positions yield zeros for free; real positions read from a live
-// holder and charge the transfer to the destination machine. record,
-// when non-nil, observes every (src, bytes) wire transfer — the
-// contention model replays them through the netsim fabric. It is
-// invoked from the worker executing the stripe's repair job, never
-// concurrently for one stripe.
-func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, bytes int64)) ec.FetchFunc {
+// stripeAlive is stripeAliveLocked behind a per-call read lock, for use
+// while c.mu is not held (the BlockFixer's engine execution phase).
+func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
+	inner := c.stripeAliveLocked(sm)
+	return func(pos int) bool {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return inner(pos)
+	}
+}
+
+// stripeFetchLocked builds the codec fetch function for a stripe:
+// phantom positions yield zeros for free; real positions read from a
+// random live holder and charge the transfer to the destination
+// machine. record, when non-nil, observes every (src, bytes) wire
+// transfer — the contention model replays them through the netsim
+// fabric. It is invoked from the worker executing the stripe's repair
+// job, never concurrently for one stripe. Callers hold c.mu in at
+// least read mode for every invocation of the returned func.
+func (c *Cluster) stripeFetchLocked(sm *stripeMeta, dst int, record func(src int, bytes int64)) ec.FetchFunc {
 	return func(req ec.ReadRequest) ([]byte, error) {
 		id := sm.blocks[req.Shard]
 		if id < 0 {
@@ -624,7 +729,7 @@ func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, byte
 		if len(live) == 0 {
 			return nil, fmt.Errorf("%w: stripe %d position %d", ErrBlockLost, sm.id, req.Shard)
 		}
-		src := live[0]
+		src := c.pickReplica(live)
 		buf, err := c.nodes[src].readRange(id, req.Offset, req.Length)
 		if err != nil {
 			return nil, err
@@ -639,6 +744,17 @@ func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, byte
 	}
 }
 
+// stripeFetch is stripeFetchLocked behind a per-call read lock, for use
+// while c.mu is not held (the BlockFixer's engine execution phase).
+func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, bytes int64)) ec.FetchFunc {
+	inner := c.stripeFetchLocked(sm, dst, record)
+	return func(req ec.ReadRequest) ([]byte, error) {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return inner(req)
+	}
+}
+
 // reconstructBlockLocked rebuilds a striped block's full shard at the
 // given machine, charging all fetches to the network. The result has
 // shardSize bytes; callers truncate to the block's logical size.
@@ -647,24 +763,34 @@ func (c *Cluster) reconstructBlockLocked(bm *blockMeta, at int) ([]byte, error) 
 		return nil, fmt.Errorf("%w: block %d is not striped", ErrBlockLost, bm.id)
 	}
 	sm := c.stripes[bm.stripe]
-	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAlive(sm), c.stripeFetch(sm, at, nil))
+	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAliveLocked(sm), c.stripeFetchLocked(sm, at, nil))
 }
 
 // FailMachine marks a machine unavailable. Its blocks become
 // unreachable but are retained, so RestoreMachine models the common
 // case of §2.2 (machines return after transient unavailability).
+// Liveness transitions take the metadata lock exclusively so they
+// serialise against mutations that check liveness and then act on it
+// (placement during WriteFile, fixer planning/application): a machine
+// cannot die between a placement's liveness check and its store.
 func (c *Cluster) FailMachine(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nodes[id].setAlive(false)
 }
 
 // RestoreMachine brings a machine back with its blocks intact.
 func (c *Cluster) RestoreMachine(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nodes[id].setAlive(true)
 }
 
 // DecommissionMachine permanently removes a machine: its blocks are
 // wiped before it is marked down, so even restoring it returns nothing.
 func (c *Cluster) DecommissionMachine(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nodes[id].wipe()
 	c.nodes[id].setAlive(false)
 }
@@ -705,9 +831,18 @@ type FixReport struct {
 // missing, and a joint decode shares its downloads across them);
 // replicated blocks below their target replication are re-replicated
 // from a surviving copy.
+//
+// A pass holds the metadata lock exclusively only while scanning /
+// planning and while applying results; the stripe decodes themselves
+// run on the engine with the lock released, so foreground reads
+// (healthy and degraded) proceed in parallel with reconstruction.
+// Passes are serialised against each other. In concurrent use,
+// CrossRackBytes also includes recovery traffic from degraded reads
+// that overlapped the pass.
 func (c *Cluster) RunBlockFixer() (*FixReport, error) {
+	c.fixerMu.Lock()
+	defer c.fixerMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	report := &FixReport{}
 	before := c.net.CrossRackBytes()
 
@@ -754,10 +889,12 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 	// Stripe repairs run in three phases so many stripes decode
 	// concurrently through the engine. Planning (destination picks,
 	// which consume the cluster rng) stays serial in stripe order for
-	// determinism; execution is a batch on the stripe-repair engine —
-	// fetches only read cluster state, and the network fabric's byte
-	// accounting is thread-safe; application (stores, onward shipping)
-	// is serial again in stripe order.
+	// determinism and holds the metadata lock; execution is a batch on
+	// the stripe-repair engine with the lock RELEASED — each fetch takes
+	// the read lock for its own duration, and the network fabric's byte
+	// accounting is thread-safe — so foreground reads interleave with
+	// the decodes; application (stores, onward shipping) retakes the
+	// lock and is serial again in stripe order.
 	fixes := make([]*stripeFix, 0, len(stripeOrder))
 	for _, sid := range stripeOrder {
 		lost := lostByStripe[sid]
@@ -794,7 +931,9 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 			Fetch:     c.stripeFetch(f.sm, f.worker(), record),
 		}
 	}
+	c.mu.Unlock()
 	results := c.eng.RunRepairs(jobs)
+	c.mu.Lock()
 	var applied []int
 	for i, f := range fixes {
 		if results[i].Err != nil {
@@ -803,15 +942,11 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 			}
 			continue
 		}
-		if err := c.applyStripeFixLocked(f, results[i].Shards, report); err != nil {
-			for _, bm := range f.lost {
-				report.Unrecoverable = append(report.Unrecoverable, bm.id)
-			}
-			continue
-		}
+		c.applyStripeFixLocked(f, results[i].Shards, report)
 		applied = append(applied, i)
 	}
 	report.CrossRackBytes = c.net.CrossRackBytes() - before
+	c.mu.Unlock()
 	if recorded != nil && len(applied) > 0 {
 		if err := c.simulateFixContention(fixes, recorded, applied, report); err != nil {
 			return nil, err
@@ -917,7 +1052,7 @@ func (c *Cluster) planStripeFixLocked(sm *stripeMeta, lost []*blockMeta) (*strip
 	}
 	for i, bm := range lost {
 		fix.positions[i] = bm.stripePos
-		dst, err := c.pickLiveMachineLocked(exclude)
+		dst, err := c.pickLiveMachine(exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -928,24 +1063,33 @@ func (c *Cluster) planStripeFixLocked(sm *stripeMeta, lost []*blockMeta) (*strip
 }
 
 // applyStripeFixLocked stores the reconstructed blocks at their planned
-// destinations, shipping blocks onward from the decode worker.
-func (c *Cluster) applyStripeFixLocked(f *stripeFix, shards map[int][]byte, report *FixReport) error {
+// destinations, shipping blocks onward from the decode worker, and
+// accounts per block: a block that regained a live replica while the
+// decode ran with the lock released (its machine was restored
+// mid-pass) is left as it is; a block whose destination died mid-pass
+// is recorded unrecoverable on its own, without disturbing the
+// accounting of siblings in the same fix that did land.
+func (c *Cluster) applyStripeFixLocked(f *stripeFix, shards map[int][]byte, report *FixReport) {
 	worker := f.worker()
 	for i, bm := range f.lost {
+		if len(c.liveLocations(bm)) > 0 {
+			continue
+		}
 		content := shards[bm.stripePos][:bm.size]
 		dst := f.destinations[i]
 		if dst != worker {
 			if err := c.net.Transfer(worker, dst, bm.size); err != nil {
-				return err
+				report.Unrecoverable = append(report.Unrecoverable, bm.id)
+				continue
 			}
 		}
 		if err := c.nodes[dst].store(bm.id, content); err != nil {
-			return err
+			report.Unrecoverable = append(report.Unrecoverable, bm.id)
+			continue
 		}
 		bm.locations = []int{dst}
 		report.RepairedStriped++
 	}
-	return nil
 }
 
 // reReplicateLocked copies a replicated block from a live replica until
@@ -957,7 +1101,7 @@ func (c *Cluster) reReplicateLocked(bm *blockMeta, live []int, target int) error
 		for _, m := range current {
 			exclude[c.cfg.Topology.RackOf(m)] = true
 		}
-		dst, err := c.pickLiveMachineLocked(exclude)
+		dst, err := c.pickLiveMachine(exclude)
 		if err != nil {
 			return err
 		}
@@ -998,8 +1142,8 @@ type FileInfo struct {
 
 // Stat returns a file's metadata.
 func (c *Cluster) Stat(name string) (FileInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
 		return FileInfo{}, fmt.Errorf("%w: %s", ErrFileNotFound, name)
@@ -1010,8 +1154,8 @@ func (c *Cluster) Stat(name string) (FileInfo, error) {
 // BlockLocations returns, for each block of the file, the machines
 // currently holding live replicas.
 func (c *Cluster) BlockLocations(name string) ([][]int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
@@ -1026,8 +1170,8 @@ func (c *Cluster) BlockLocations(name string) ([][]int, error) {
 // StripeOf returns the stripe id and position of a file's block, or
 // noStripe if the file is not raided.
 func (c *Cluster) StripeOf(name string, blockIndex int) (StripeID, int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
 		return noStripe, 0, fmt.Errorf("%w: %s", ErrFileNotFound, name)
@@ -1042,8 +1186,8 @@ func (c *Cluster) StripeOf(name string, blockIndex int) (StripeID, int, error) {
 // StripeRacks returns the racks hosting live blocks of the stripe —
 // tests use it to assert the one-rack-per-block invariant.
 func (c *Cluster) StripeRacks(id StripeID) ([]int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	sm, ok := c.stripes[id]
 	if !ok {
 		return nil, fmt.Errorf("hdfs: stripe %d not found", id)
@@ -1078,8 +1222,8 @@ type ClusterStats struct {
 
 // Stats returns the cluster inventory.
 func (c *Cluster) Stats() ClusterStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var s ClusterStats
 	for _, fm := range c.files {
 		s.Files++
@@ -1121,4 +1265,114 @@ func (c *Cluster) sumStoredBytes() int64 {
 		n.mu.Unlock()
 	}
 	return total
+}
+
+// --- Serving-layer accessors -------------------------------------------
+//
+// The internal/serve namenode and datanode daemons expose the cluster
+// over real TCP. They need read access to block/stripe metadata (to
+// answer clients planning reads and degraded-read repairs) and direct
+// range reads against a single datanode's store, without reaching into
+// unexported state.
+
+// BlockInfo is a client-visible snapshot of one block: identity, size,
+// stripe membership, and the machines currently holding live replicas.
+type BlockInfo struct {
+	ID        BlockID
+	Size      int64
+	Stripe    StripeID // noStripe (-1) when the block is not striped
+	StripePos int
+	Locations []int
+}
+
+// FileBlocks returns the file's size and a per-block metadata snapshot
+// — the read-path handshake of the serving layer. Like ReadFile, it
+// counts as an access for the raid policy.
+func (c *Cluster) FileBlocks(name string) (int64, []BlockInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fm, ok := c.files[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	fm.lastAccess.Store(int64(c.now))
+	out := make([]BlockInfo, len(fm.blocks))
+	for i, id := range fm.blocks {
+		bm := c.blocks[id]
+		out[i] = BlockInfo{
+			ID:        bm.id,
+			Size:      bm.size,
+			Stripe:    bm.stripe,
+			StripePos: bm.stripePos,
+			Locations: append([]int(nil), c.liveLocations(bm)...),
+		}
+	}
+	return fm.size, out, nil
+}
+
+// StripePosInfo describes one stripe position to a repair client: the
+// block occupying it (-1 for a phantom zero block of a short tail
+// stripe), its logical size, and its live holders.
+type StripePosInfo struct {
+	Block     BlockID
+	Size      int64
+	Locations []int
+}
+
+// StripeDetail is the full client-visible layout of one stripe.
+type StripeDetail struct {
+	ID        StripeID
+	ShardSize int64
+	Positions []StripePosInfo
+}
+
+// Stripe returns the layout of one stripe — what a serving-layer
+// client needs to execute a degraded read: per-position block ids,
+// sizes, and live locations, plus the shard size the codec decodes at.
+func (c *Cluster) Stripe(id StripeID) (StripeDetail, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sm, ok := c.stripes[id]
+	if !ok {
+		return StripeDetail{}, fmt.Errorf("hdfs: stripe %d not found", id)
+	}
+	d := StripeDetail{ID: sm.id, ShardSize: sm.shardSize, Positions: make([]StripePosInfo, len(sm.blocks))}
+	for pos, bid := range sm.blocks {
+		if bid < 0 {
+			d.Positions[pos] = StripePosInfo{Block: -1, Size: sm.shardSize}
+			continue
+		}
+		bm := c.blocks[bid]
+		d.Positions[pos] = StripePosInfo{
+			Block:     bm.id,
+			Size:      bm.size,
+			Locations: append([]int(nil), c.liveLocations(bm)...),
+		}
+	}
+	return d, nil
+}
+
+// Machines returns the number of datanodes in the cluster.
+func (c *Cluster) Machines() int { return len(c.nodes) }
+
+// MachineAlive reports whether the machine currently answers
+// heartbeats.
+func (c *Cluster) MachineAlive(id int) bool {
+	if id < 0 || id >= len(c.nodes) {
+		return false
+	}
+	return c.nodes[id].isAlive()
+}
+
+// NodeReadRange serves a range read of one replica directly from one
+// datanode's store — the serving layer's datanode daemons answer range
+// reads with it, touching only the node's leaf lock, never the
+// namenode metadata. Reads past the block's physical end are
+// zero-padded, exactly as readRange pads striped blocks to the shard
+// size.
+func (c *Cluster) NodeReadRange(machine int, id BlockID, offset, length int64) ([]byte, error) {
+	if machine < 0 || machine >= len(c.nodes) {
+		return nil, fmt.Errorf("hdfs: no machine %d", machine)
+	}
+	return c.nodes[machine].readRange(id, offset, length)
 }

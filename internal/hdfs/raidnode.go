@@ -41,8 +41,8 @@ func (c *Cluster) AdvanceClock(d time.Duration) {
 
 // Now returns the logical clock.
 func (c *Cluster) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.now
 }
 
@@ -50,14 +50,14 @@ func (c *Cluster) Now() time.Duration {
 // un-raided files whose last access is at least ColdAge ago, sorted by
 // name for determinism.
 func (c *Cluster) RaidCandidates(policy RaidPolicy) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []string
 	for name, fm := range c.files {
 		if fm.raided {
 			continue
 		}
-		if c.now-fm.lastAccess >= policy.ColdAge {
+		if c.now-time.Duration(fm.lastAccess.Load()) >= policy.ColdAge {
 			out = append(out, name)
 		}
 	}
@@ -182,8 +182,8 @@ func (c *Cluster) InjectBitRot(machine int, id BlockID, offset int64) error {
 // BlocksOn returns the ids of blocks with a replica on the machine,
 // sorted ascending.
 func (c *Cluster) BlocksOn(machine int) []BlockID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	node := c.nodes[machine]
 	node.mu.Lock()
 	defer node.mu.Unlock()

@@ -1,0 +1,444 @@
+// The serving-layer client. Reads are replica-spread and self-healing:
+// each block read rotates across live replicas, and when none answers
+// — the holder died, or died mid-transfer — the client fetches the
+// stripe layout from the namenode, downloads the surviving helper
+// ranges of the codec's repair plan from their datanodes, and decodes
+// the missing block locally (a degraded read). Callers see bytes,
+// never failures, as long as the stripe stays recoverable; the
+// Counters expose how many block reads had to take the degraded path.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ec"
+)
+
+// defaultTimeout bounds one RPC round trip. Localhost RPCs answer in
+// microseconds; the bound only matters when a daemon is wedged.
+const defaultTimeout = 10 * time.Second
+
+// readAttempts bounds how many times a block read refreshes metadata
+// and retries after transport failures before giving up.
+const readAttempts = 4
+
+// conn is one pooled client connection: requests on it are serialised
+// (the protocol is strict request/response lockstep).
+type conn struct {
+	mu sync.Mutex
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func dialConn(addr string, timeout time.Duration) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+// call performs one RPC round trip. A transport failure leaves the
+// connection unusable; callers drop it from their pool. A RemoteError
+// means the far side answered and said no.
+func (c *conn) call(req *request, payload []byte, timeout time.Duration) (*response, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, nil, err
+	}
+	if err := writeFrame(c.bw, req, payload); err != nil {
+		return nil, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, nil, err
+	}
+	var resp response
+	out, err := readFrame(c.br, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !resp.OK {
+		return nil, nil, &RemoteError{Msg: resp.Err}
+	}
+	return &resp, out, nil
+}
+
+func (c *conn) close() { c.nc.Close() }
+
+// Counters are a client's cumulative operation counts. DegradedBlocks
+// counts block reads that were served by reconstruction rather than a
+// replica; DegradedBlocks/BlocksRead is the degraded-read share.
+type Counters struct {
+	Reads          int64 // whole-file reads completed
+	Writes         int64 // whole-file writes completed
+	BlocksRead     int64 // block reads completed (healthy + degraded)
+	DegradedBlocks int64 // block reads served via reconstruction
+}
+
+// Client talks to a serving cluster. It is safe for concurrent use;
+// workloads wanting parallel in-flight requests should prefer one
+// Client per worker, since requests on one pooled connection
+// serialise.
+type Client struct {
+	code     ec.Code
+	nameAddr string
+	timeout  time.Duration
+
+	mu    sync.Mutex
+	name  *conn
+	dns   map[string]*conn
+	addrs []string // machine id → datanode address ("" = down)
+
+	rr             atomic.Uint64 // replica rotation
+	reads          atomic.Int64
+	writes         atomic.Int64
+	blocksRead     atomic.Int64
+	degradedBlocks atomic.Int64
+}
+
+// Dial connects to the namenode and fetches the cluster handshake.
+// code must match the cluster's codec (the handshake enforces it by
+// name): the client decodes degraded reads locally.
+func Dial(nameAddr string, code ec.Code) (*Client, error) {
+	c := &Client{
+		code:     code,
+		nameAddr: nameAddr,
+		timeout:  defaultTimeout,
+		dns:      make(map[string]*conn),
+	}
+	resp, err := c.nameCall(&request{Method: methodInfo}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", nameAddr, err)
+	}
+	if resp.Codec != code.Name() {
+		return nil, fmt.Errorf("serve: cluster runs %s, client built for %s", resp.Codec, code.Name())
+	}
+	c.mu.Lock()
+	c.addrs = resp.DataNodes
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Counters returns the cumulative operation counts.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Reads:          c.reads.Load(),
+		Writes:         c.writes.Load(),
+		BlocksRead:     c.blocksRead.Load(),
+		DegradedBlocks: c.degradedBlocks.Load(),
+	}
+}
+
+// Close severs every pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.name != nil {
+		c.name.close()
+		c.name = nil
+	}
+	for _, cn := range c.dns {
+		cn.close()
+	}
+	c.dns = make(map[string]*conn)
+	return nil
+}
+
+// nameCall performs one namenode RPC, redialling once if the pooled
+// connection has gone stale.
+func (c *Client) nameCall(req *request, payload []byte) (*response, error) {
+	resp, _, err := c.nameCallPayload(req, payload)
+	return resp, err
+}
+
+func (c *Client) nameCallPayload(req *request, payload []byte) (*response, []byte, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		c.mu.Lock()
+		cn := c.name
+		c.mu.Unlock()
+		if cn == nil {
+			fresh, err := dialConn(c.nameAddr, c.timeout)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.mu.Lock()
+			if c.name == nil {
+				c.name = fresh
+				cn = fresh
+			} else {
+				cn = c.name
+				fresh.close()
+			}
+			c.mu.Unlock()
+		}
+		resp, out, err := cn.call(req, payload, c.timeout)
+		if err == nil {
+			return resp, out, nil
+		}
+		if _, remote := err.(*RemoteError); remote {
+			return nil, nil, err
+		}
+		// Transport failure: drop the pooled connection and redial.
+		c.mu.Lock()
+		if c.name == cn {
+			c.name = nil
+		}
+		c.mu.Unlock()
+		cn.close()
+		if attempt == 1 {
+			return nil, nil, err
+		}
+	}
+	panic("unreachable")
+}
+
+// refreshAddrs re-fetches the datanode address table — needed after a
+// daemon dies (its address empties) or restarts (fresh port).
+func (c *Client) refreshAddrs() error {
+	resp, err := c.nameCall(&request{Method: methodInfo}, nil)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.addrs = resp.DataNodes
+	c.mu.Unlock()
+	return nil
+}
+
+// dnCall performs one RPC against the given machine's datanode.
+func (c *Client) dnCall(machine int, req *request) ([]byte, error) {
+	c.mu.Lock()
+	var addr string
+	if machine >= 0 && machine < len(c.addrs) {
+		addr = c.addrs[machine]
+	}
+	cn := c.dns[addr]
+	c.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("serve: datanode %d has no address (down?)", machine)
+	}
+	if cn == nil {
+		fresh, err := dialConn(addr, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if existing := c.dns[addr]; existing != nil {
+			cn = existing
+			fresh.close()
+		} else {
+			c.dns[addr] = fresh
+			cn = fresh
+		}
+		c.mu.Unlock()
+	}
+	_, out, err := cn.call(req, nil, c.timeout)
+	if err != nil {
+		if _, remote := err.(*RemoteError); !remote {
+			c.mu.Lock()
+			if c.dns[addr] == cn {
+				delete(c.dns, addr)
+			}
+			c.mu.Unlock()
+			cn.close()
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// dnRead fetches one byte range of one block from a machine.
+func (c *Client) dnRead(machine int, block, offset, length int64) ([]byte, error) {
+	return c.dnCall(machine, &request{Method: methodDNRead, Block: block, Offset: offset, Length: length})
+}
+
+// WriteFile stores data as a new file.
+func (c *Client) WriteFile(name string, data []byte) error {
+	if _, err := c.nameCall(&request{Method: methodWrite, Name: name}, data); err != nil {
+		return err
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// RaidFile erasure-codes a file in place.
+func (c *Client) RaidFile(name string) error {
+	_, err := c.nameCall(&request{Method: methodRaid, Name: name}, nil)
+	return err
+}
+
+// FixReport summarises a block-fixer pass driven over the wire.
+type FixReport struct {
+	ScannedBlocks   int
+	RepairedStriped int
+	ReReplicated    int
+	Unrecoverable   int
+}
+
+// RunBlockFixer drives one fixer pass on the namenode.
+func (c *Client) RunBlockFixer() (FixReport, error) {
+	resp, err := c.nameCall(&request{Method: methodFixer}, nil)
+	if err != nil {
+		return FixReport{}, err
+	}
+	if resp.Fix == nil {
+		return FixReport{}, fmt.Errorf("serve: fixer reply missing report")
+	}
+	return FixReport{
+		ScannedBlocks:   resp.Fix.ScannedBlocks,
+		RepairedStriped: resp.Fix.RepairedStriped,
+		ReReplicated:    resp.Fix.ReReplicated,
+		Unrecoverable:   resp.Fix.Unrecoverable,
+	}, nil
+}
+
+// FailMachine fails a machine (and its daemon) through the namenode.
+func (c *Client) FailMachine(machine int) error {
+	_, err := c.nameCall(&request{Method: methodFail, Machine: machine}, nil)
+	return err
+}
+
+// RestoreMachine restores a machine (and its daemon) through the
+// namenode.
+func (c *Client) RestoreMachine(machine int) error {
+	_, err := c.nameCall(&request{Method: methodRestore, Machine: machine}, nil)
+	return err
+}
+
+// fileBlocks fetches the file's size and block table.
+func (c *Client) fileBlocks(name string) (int64, []wireBlock, error) {
+	resp, err := c.nameCall(&request{Method: methodBlocks, Name: name}, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.Size, resp.Blocks, nil
+}
+
+// ReadFile returns the file's contents. Block reads rotate across
+// replicas; blocks with no answering replica are transparently
+// reconstructed from their stripe (degraded read), with helper ranges
+// fetched over the wire.
+func (c *Client) ReadFile(name string) ([]byte, error) {
+	size, blocks, err := c.fileBlocks(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, size)
+	for i := range blocks {
+		data, err := c.readBlock(name, i, blocks[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: read %s block %d: %w", name, i, err)
+		}
+		out = append(out, data...)
+	}
+	c.reads.Add(1)
+	return out, nil
+}
+
+// readBlock reads one block, retrying with refreshed metadata when
+// replicas or helpers die mid-flight.
+func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if attempt > 0 {
+			// Metadata may be stale: the holder set changed, daemons
+			// moved ports, or the block got fixed to a new machine.
+			if err := c.refreshAddrs(); err != nil {
+				return nil, err
+			}
+			_, blocks, err := c.fileBlocks(name)
+			if err != nil {
+				return nil, err
+			}
+			if index >= len(blocks) {
+				return nil, fmt.Errorf("serve: block index %d vanished", index)
+			}
+			b = blocks[index]
+		}
+
+		// Healthy path: rotate across live replicas.
+		if n := len(b.Locations); n > 0 {
+			start := int(c.rr.Add(1)) % n
+			for i := 0; i < n; i++ {
+				m := b.Locations[(start+i)%n]
+				data, err := c.dnRead(m, b.ID, 0, b.Size)
+				if err == nil {
+					c.blocksRead.Add(1)
+					return data, nil
+				}
+				lastErr = err
+			}
+		}
+
+		// Degraded path: reconstruct from the stripe.
+		if b.Stripe >= 0 {
+			data, err := c.degradedRead(b)
+			if err == nil {
+				c.blocksRead.Add(1)
+				c.degradedBlocks.Add(1)
+				return data, nil
+			}
+			lastErr = err
+		} else if len(b.Locations) == 0 && lastErr == nil {
+			lastErr = fmt.Errorf("serve: block %d has no live replicas and no stripe", b.ID)
+		}
+	}
+	return nil, lastErr
+}
+
+// degradedRead reconstructs one striped block: fetch the stripe layout,
+// execute the codec's repair plan with every helper range read over
+// the wire, and truncate the decoded shard to the block's logical
+// size. Phantom positions (short tail stripes) decode as zeros without
+// touching the network — exactly the access pattern the repair plans
+// charge for.
+func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
+	resp, err := c.nameCall(&request{Method: methodStripe, Stripe: b.Stripe}, nil)
+	if err != nil {
+		return nil, err
+	}
+	st := resp.Stripe
+	if st == nil {
+		return nil, fmt.Errorf("serve: stripe %d reply missing layout", b.Stripe)
+	}
+	alive := func(pos int) bool {
+		if pos < 0 || pos >= len(st.Positions) {
+			return false
+		}
+		p := st.Positions[pos]
+		return p.Block < 0 || len(p.Locations) > 0
+	}
+	fetch := func(req ec.ReadRequest) ([]byte, error) {
+		p := st.Positions[req.Shard]
+		if p.Block < 0 {
+			return make([]byte, req.Length), nil
+		}
+		n := len(p.Locations)
+		if n == 0 {
+			return nil, fmt.Errorf("serve: stripe %d position %d has no live holder", b.Stripe, req.Shard)
+		}
+		start := int(c.rr.Add(1)) % n
+		var lastErr error
+		for i := 0; i < n; i++ {
+			m := p.Locations[(start+i)%n]
+			buf, err := c.dnRead(m, p.Block, req.Offset, req.Length)
+			if err == nil {
+				return buf, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	}
+	shard, err := c.code.ExecuteRepair(b.StripePos, st.ShardSize, alive, fetch)
+	if err != nil {
+		return nil, err
+	}
+	return shard[:b.Size], nil
+}

@@ -1,0 +1,60 @@
+// The datanode daemon: one TCP server per storage machine, answering
+// replica range reads straight out of that machine's block store. It
+// is deliberately dumb — no metadata, no placement — matching the
+// production split where datanodes move bytes and the namenode knows
+// where they are. Repair-helper reads (the byte ranges a degraded read
+// or block fix downloads) arrive here as ordinary dn.read calls with a
+// sub-block offset and length.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/hdfs"
+)
+
+// DataNode is one machine's serving daemon.
+type DataNode struct {
+	cluster *hdfs.Cluster
+	machine int
+	srv     *server
+}
+
+// startDataNode launches the daemon for one machine on an ephemeral
+// localhost port.
+func startDataNode(cluster *hdfs.Cluster, machine int) (*DataNode, error) {
+	d := &DataNode{cluster: cluster, machine: machine}
+	srv, err := newServer(d.handle)
+	if err != nil {
+		return nil, err
+	}
+	d.srv = srv
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *DataNode) Addr() string { return d.srv.addr() }
+
+// Machine returns the machine index the daemon serves.
+func (d *DataNode) Machine() int { return d.machine }
+
+func (d *DataNode) handle(req *request, _ []byte) (*response, []byte) {
+	switch req.Method {
+	case methodDNRead:
+		buf, err := d.cluster.NodeReadRange(d.machine, hdfs.BlockID(req.Block), req.Offset, req.Length)
+		if err != nil {
+			return errResponse(err), nil
+		}
+		return okResponse(), buf
+	case methodDNPing:
+		if !d.cluster.MachineAlive(d.machine) {
+			return errResponse(fmt.Errorf("serve: datanode %d down", d.machine)), nil
+		}
+		return okResponse(), nil
+	default:
+		return errResponse(fmt.Errorf("serve: datanode: unknown method %q", req.Method)), nil
+	}
+}
+
+// close severs the listener and every client connection.
+func (d *DataNode) close() { d.srv.close() }

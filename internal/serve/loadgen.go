@@ -1,0 +1,410 @@
+// The closed-loop load generator: N client workers drive a live
+// serving cluster over TCP with a configurable read/write mix, a
+// failure is injected mid-run, and what comes out is what an operator
+// actually feels — client-visible throughput, p50/p99 latency, and the
+// share of block reads that had to take the degraded path. Running the
+// identical workload under RS, Piggybacked-RS, and LRC turns the
+// paper's repair-traffic claim into a serving-latency comparison.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ec"
+	"repro/internal/hdfs"
+	"repro/internal/stats"
+)
+
+// LoadConfig parameterises one load-generator run. The zero value of
+// every field selects a sensible default, so LoadConfig{} is runnable.
+type LoadConfig struct {
+	// Racks and MachinesPerRack shape the cluster; Racks defaults to
+	// the codec's stripe width + 2 (one rack per block plus headroom).
+	Racks, MachinesPerRack int
+	// BlockSize is the block payload bound (default 64 KiB — kilobyte
+	// blocks keep a localhost run fast while still striping).
+	BlockSize int64
+	// Replication is the pre-raid replica count (default 3).
+	Replication int
+	// Files and FileBytes shape the preloaded, erasure-coded working
+	// set every reader hits (defaults 8 files x 4 blocks).
+	Files     int
+	FileBytes int64
+	// Clients is the closed-loop worker count (default 4), each with
+	// its own Client and connection pool.
+	Clients int
+	// Duration is the measured wall-clock run length (default 5s).
+	Duration time.Duration
+	// WriteFraction is the probability an operation is a write of a
+	// fresh file rather than a read of the working set (default 0.1;
+	// negative for a pure-read workload).
+	WriteFraction float64
+	// KillAfter kills a datanode holding a data block of the working
+	// set this far into the run (default Duration/3; negative
+	// disables).
+	KillAfter time.Duration
+	// Seed drives placement, content, and the operation mix.
+	Seed int64
+
+	// normalized marks a config that already passed withDefaults, so
+	// sentinel values (negative WriteFraction) are not re-defaulted.
+	normalized bool
+}
+
+// withDefaults fills unset fields. Idempotent.
+func (cfg LoadConfig) withDefaults(code ec.Code) LoadConfig {
+	if cfg.normalized {
+		return cfg
+	}
+	cfg.normalized = true
+	if cfg.Racks == 0 {
+		cfg.Racks = code.TotalShards() + 2
+	}
+	if cfg.MachinesPerRack == 0 {
+		cfg.MachinesPerRack = 2
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 64 << 10
+	}
+	if cfg.Replication == 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Files == 0 {
+		cfg.Files = 8
+	}
+	if cfg.FileBytes == 0 {
+		cfg.FileBytes = 4 * cfg.BlockSize
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	switch {
+	case cfg.WriteFraction == 0:
+		cfg.WriteFraction = 0.1
+	case cfg.WriteFraction < 0:
+		cfg.WriteFraction = 0
+	}
+	if cfg.KillAfter == 0 {
+		cfg.KillAfter = cfg.Duration / 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// LoadResult is one codec's measured serving behaviour under load.
+type LoadResult struct {
+	Codec        string  `json:"codec"`
+	DurationSecs float64 `json:"duration_secs"`
+	Clients      int     `json:"clients"`
+
+	Reads          int64   `json:"reads"`
+	Writes         int64   `json:"writes"`
+	Errors         int64   `json:"errors"`
+	BlocksRead     int64   `json:"blocks_read"`
+	DegradedBlocks int64   `json:"degraded_blocks"`
+	DegradedShare  float64 `json:"degraded_share"`
+
+	ReadP50Millis  float64 `json:"read_p50_ms"`
+	ReadP99Millis  float64 `json:"read_p99_ms"`
+	WriteP50Millis float64 `json:"write_p50_ms"`
+	WriteP99Millis float64 `json:"write_p99_ms"`
+
+	OpsPerSec          float64 `json:"ops_per_sec"`
+	ThroughputMBPerSec float64 `json:"throughput_mb_per_sec"`
+
+	Killed        bool    `json:"killed"`
+	KillAfterSecs float64 `json:"kill_after_secs,omitempty"`
+	KilledMachine int     `json:"killed_machine"` // -1 when no kill happened
+}
+
+// fileContent generates a file's deterministic payload from the run
+// seed and its name, so any reader can verify any read byte-for-byte.
+func fileContent(seed int64, name string, size int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ int64(crc32.ChecksumIEEE([]byte(name)))))
+	buf := make([]byte, size)
+	rng.Read(buf)
+	return buf
+}
+
+// RunLoad starts a serving cluster for the codec, preloads and raids a
+// working set, drives the closed loop, and reports. The victim of the
+// mid-run kill is the machine holding the first preloaded file's first
+// data block, so its loss is guaranteed to turn working-set reads
+// degraded.
+func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults(code)
+	sys, err := Start(hdfs.Config{
+		Topology:    cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
+		Code:        code,
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	// Preload and raid the working set.
+	setup, err := Dial(sys.NameAddr(), code)
+	if err != nil {
+		return nil, err
+	}
+	defer setup.Close()
+	// Payloads are generated once: readers verify against this map on
+	// every read, so steady-state verification costs a compare, not a
+	// per-operation rng fill competing with the daemons for CPU.
+	files := make([]string, cfg.Files)
+	working := make(map[string][]byte, cfg.Files)
+	for i := range files {
+		files[i] = fmt.Sprintf("preload-%d", i)
+		working[files[i]] = fileContent(cfg.Seed, files[i], cfg.FileBytes)
+		if err := setup.WriteFile(files[i], working[files[i]]); err != nil {
+			return nil, err
+		}
+		if err := setup.RaidFile(files[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Victim selection: the single holder of preload-0's first block.
+	victim := -1
+	if cfg.KillAfter > 0 && cfg.KillAfter < cfg.Duration {
+		_, blocks, err := sys.Cluster().FileBlocks(files[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(blocks) > 0 && len(blocks[0].Locations) > 0 {
+			victim = blocks[0].Locations[0]
+		}
+	}
+
+	type workerStats struct {
+		readMs, writeMs []float64
+		errors          int64
+		bytes           int64
+		counters        Counters
+	}
+	workers := make([]workerStats, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	// killed records whether the kill actually landed, not merely that
+	// the timer was armed: a run that ends early (or a failing
+	// KillDataNode) must not report a kill that never happened.
+	var killTimer *time.Timer
+	var killed atomic.Bool
+	if victim >= 0 {
+		killTimer = time.AfterFunc(cfg.KillAfter, func() {
+			if err := sys.KillDataNode(victim); err == nil {
+				killed.Store(true)
+			}
+		})
+	}
+
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &workers[w]
+			cl, err := Dial(sys.NameAddr(), code)
+			if err != nil {
+				ws.errors++
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			// One payload per worker: written files are never read
+			// back, so their content need not vary per write.
+			wdata := fileContent(cfg.Seed+int64(w), "writer", cfg.FileBytes)
+			seq := 0
+			for time.Now().Before(deadline) {
+				if rng.Float64() < cfg.WriteFraction {
+					name := fmt.Sprintf("w-%d-%d", w, seq)
+					seq++
+					t0 := time.Now()
+					err := cl.WriteFile(name, wdata)
+					if err != nil {
+						ws.errors++
+						continue
+					}
+					ws.writeMs = append(ws.writeMs, float64(time.Since(t0))/1e6)
+					ws.bytes += int64(len(wdata))
+					continue
+				}
+				name := files[rng.Intn(len(files))]
+				t0 := time.Now()
+				data, err := cl.ReadFile(name)
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				if !bytes.Equal(data, working[name]) {
+					ws.errors++ // corruption is an error, not a latency sample
+					continue
+				}
+				ws.readMs = append(ws.readMs, float64(time.Since(t0))/1e6)
+				ws.bytes += int64(len(data))
+			}
+			ws.counters = cl.Counters()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if killTimer != nil {
+		killTimer.Stop()
+	}
+
+	res := &LoadResult{
+		Codec:         code.Name(),
+		DurationSecs:  elapsed.Seconds(),
+		Clients:       cfg.Clients,
+		Killed:        killed.Load(),
+		KilledMachine: -1,
+	}
+	if res.Killed {
+		res.KillAfterSecs = cfg.KillAfter.Seconds()
+		res.KilledMachine = victim
+	}
+	var readMs, writeMs []float64
+	var totalBytes int64
+	for i := range workers {
+		ws := &workers[i]
+		readMs = append(readMs, ws.readMs...)
+		writeMs = append(writeMs, ws.writeMs...)
+		res.Errors += ws.errors
+		totalBytes += ws.bytes
+		res.Reads += ws.counters.Reads
+		res.Writes += ws.counters.Writes
+		res.BlocksRead += ws.counters.BlocksRead
+		res.DegradedBlocks += ws.counters.DegradedBlocks
+	}
+	if res.BlocksRead > 0 {
+		res.DegradedShare = float64(res.DegradedBlocks) / float64(res.BlocksRead)
+	}
+	res.ReadP50Millis = stats.Percentile(readMs, 50)
+	res.ReadP99Millis = stats.Percentile(readMs, 99)
+	res.WriteP50Millis = stats.Percentile(writeMs, 50)
+	res.WriteP99Millis = stats.Percentile(writeMs, 99)
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(res.Reads+res.Writes) / secs
+		res.ThroughputMBPerSec = float64(totalBytes) / 1e6 / secs
+	}
+	return res, nil
+}
+
+// BenchReport is the machine-readable BENCH_serve.json payload: the
+// identical closed-loop workload, including the mid-run kill, measured
+// under each codec.
+type BenchReport struct {
+	Benchmark   string `json:"benchmark"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	Clients         int     `json:"clients"`
+	DurationSecs    float64 `json:"duration_secs"`
+	Files           int     `json:"files"`
+	FileBytes       int64   `json:"file_bytes"`
+	BlockBytes      int64   `json:"block_bytes"`
+	Racks           int     `json:"racks"`
+	MachinesPerRack int     `json:"machines_per_rack"`
+	Replication     int     `json:"replication"`
+	WriteFraction   float64 `json:"write_fraction"`
+	KillAfterSecs   float64 `json:"kill_after_secs"`
+
+	Codecs []LoadResult `json:"codecs"`
+}
+
+// RunBench runs the identical load against each codec in turn. Racks
+// default to the widest codec's stripe width + 2 so every codec sees
+// the same fabric.
+func RunBench(codecs []ec.Code, cfg LoadConfig) (*BenchReport, error) {
+	if len(codecs) == 0 {
+		return nil, fmt.Errorf("serve: no codecs to bench")
+	}
+	width := 0
+	for _, c := range codecs {
+		if w := c.TotalShards(); w > width {
+			width = w
+		}
+	}
+	if cfg.Racks == 0 {
+		cfg.Racks = width + 2
+	}
+	cfg = cfg.withDefaults(codecs[0])
+	report := &BenchReport{
+		Benchmark:       "serve-loadgen",
+		Seed:            cfg.Seed,
+		Clients:         cfg.Clients,
+		DurationSecs:    cfg.Duration.Seconds(),
+		Files:           cfg.Files,
+		FileBytes:       cfg.FileBytes,
+		BlockBytes:      cfg.BlockSize,
+		Racks:           cfg.Racks,
+		MachinesPerRack: cfg.MachinesPerRack,
+		Replication:     cfg.Replication,
+		WriteFraction:   cfg.WriteFraction,
+		KillAfterSecs:   cfg.KillAfter.Seconds(),
+	}
+	for _, code := range codecs {
+		res, err := RunLoad(code, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load under %s: %w", code.Name(), err)
+		}
+		report.Codecs = append(report.Codecs, *res)
+	}
+	return report, nil
+}
+
+// CheckErrors returns an error naming the first codec whose run saw
+// client-visible errors — the acceptance gate both commands apply: a
+// mid-run kill must be absorbed entirely by transparent degraded
+// reads.
+func (r *BenchReport) CheckErrors() error {
+	for _, c := range r.Codecs {
+		if c.Errors > 0 {
+			return fmt.Errorf("serve: %s: %d client-visible errors (degraded reads must be transparent)", c.Codec, c.Errors)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report, pretty-printed, to path.
+func (r *BenchReport) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// FormatTable renders the report as the aligned table the commands
+// print.
+func (r *BenchReport) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %10s %10s %10s %10s %9s %7s\n",
+		"codec", "reads", "writes", "rd p50", "rd p99", "wr p50", "MB/s", "degraded", "errors")
+	for _, c := range r.Codecs {
+		fmt.Fprintf(&b, "%-22s %8d %8d %8.1fms %8.1fms %8.1fms %10.1f %8.1f%% %7d\n",
+			c.Codec, c.Reads, c.Writes, c.ReadP50Millis, c.ReadP99Millis, c.WriteP50Millis,
+			c.ThroughputMBPerSec, 100*c.DegradedShare, c.Errors)
+	}
+	return b.String()
+}

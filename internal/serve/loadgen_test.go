@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/rs"
+)
+
+// TestRunLoadSmoke drives a short closed loop with a mid-run kill and
+// asserts the acceptance bar: zero errors, progress on reads and
+// writes, and a non-zero degraded share after the kill.
+func TestRunLoadSmoke(t *testing.T) {
+	code, err := core.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLoad(code, LoadConfig{
+		Clients:   3,
+		Files:     4,
+		Duration:  400 * time.Millisecond,
+		KillAfter: 100 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run saw %d errors", res.Errors)
+	}
+	if res.Reads == 0 {
+		t.Fatal("load run completed no reads")
+	}
+	if !res.Killed {
+		t.Fatal("kill did not arm")
+	}
+	if res.DegradedBlocks == 0 {
+		t.Fatal("mid-run kill produced no degraded reads")
+	}
+	if res.ReadP50Millis <= 0 || res.ReadP99Millis < res.ReadP50Millis {
+		t.Fatalf("implausible latency percentiles p50=%v p99=%v", res.ReadP50Millis, res.ReadP99Millis)
+	}
+}
+
+// TestRunBenchTwoCodecs checks the multi-codec harness produces one
+// result per codec on the shared configuration and renders a table.
+func TestRunBenchTwoCodecs(t *testing.T) {
+	rsc, err := rs.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := core.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunBench([]ec.Code{rsc, pb}, LoadConfig{
+		Clients:       2,
+		Files:         3,
+		Duration:      250 * time.Millisecond,
+		KillAfter:     80 * time.Millisecond,
+		WriteFraction: -1, // pure reads
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Codecs) != 2 {
+		t.Fatalf("want 2 codec results, got %d", len(rep.Codecs))
+	}
+	for _, c := range rep.Codecs {
+		if c.Errors != 0 {
+			t.Fatalf("%s saw %d errors", c.Codec, c.Errors)
+		}
+		if c.Writes != 0 {
+			t.Fatalf("pure-read run recorded %d writes", c.Writes)
+		}
+	}
+	table := rep.FormatTable()
+	if !strings.Contains(table, rsc.Name()) || !strings.Contains(table, pb.Name()) {
+		t.Fatalf("table missing codec rows:\n%s", table)
+	}
+}

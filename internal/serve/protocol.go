@@ -1,0 +1,198 @@
+// Package serve is the networked serving layer of the miniature DFS: a
+// namenode daemon (file → block → stripe metadata, placement, failure
+// control, block-fixer driver) and one datanode daemon per machine
+// (replica range reads), all speaking a small framed RPC protocol over
+// real TCP on localhost, plus a concurrent Client whose read path
+// transparently falls back to degraded reads — reconstructing missing
+// blocks through the codec's repair plan with every helper range
+// fetched over the wire.
+//
+// The in-memory hdfs.Cluster remains the source of truth for metadata
+// and block bytes; this package puts a real network between it and its
+// clients, so "degraded reads under load" stop being simulated flows
+// and become client-visible latency.
+//
+// # Wire protocol
+//
+// Every RPC is one request frame followed by one response frame on a
+// persistent TCP connection (requests on a connection are serialised,
+// clients pool one connection per server):
+//
+//	uint32 header length (big endian)
+//	uint32 payload length (big endian)
+//	header: JSON (request or response)
+//	payload: raw bytes (block data; empty for most methods)
+//
+// The namenode answers metadata methods ("info", "stat", "blocks",
+// "stripe"), mutations ("write", "raid", "fixer"), and failure control
+// ("fail", "restore"); datanodes answer "dn.read" and "dn.ping".
+// Errors travel as a string in the response header; the payload always
+// carries data, never errors.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame size sanity bounds: a header is small JSON; a payload is at
+// most one file write (tests and the load generator use kilobyte-to-
+// megabyte payloads).
+const (
+	maxHeaderBytes  = 1 << 20
+	maxPayloadBytes = 1 << 30
+)
+
+// Namenode RPC method names.
+const (
+	methodInfo    = "info"
+	methodStat    = "stat"
+	methodBlocks  = "blocks"
+	methodStripe  = "stripe"
+	methodWrite   = "write"
+	methodRaid    = "raid"
+	methodFixer   = "fixer"
+	methodFail    = "fail"
+	methodRestore = "restore"
+)
+
+// Datanode RPC method names.
+const (
+	methodDNRead = "dn.read"
+	methodDNPing = "dn.ping"
+)
+
+// request is the header of one RPC call. One flat struct covers every
+// method; unused fields stay at their zero value and are omitted from
+// the JSON.
+type request struct {
+	Method  string `json:"method"`
+	Name    string `json:"name,omitempty"`
+	Block   int64  `json:"block,omitempty"`
+	Offset  int64  `json:"offset,omitempty"`
+	Length  int64  `json:"length,omitempty"`
+	Machine int    `json:"machine,omitempty"`
+	Stripe  int64  `json:"stripe,omitempty"`
+}
+
+// response is the header of one RPC reply.
+type response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	Size      int64          `json:"size,omitempty"`
+	Raided    bool           `json:"raided,omitempty"`
+	Blocks    []wireBlock    `json:"blocks,omitempty"`
+	Stripe    *wireStripe    `json:"stripe,omitempty"`
+	Codec     string         `json:"codec,omitempty"`
+	BlockSize int64          `json:"block_size,omitempty"`
+	DataNodes []string       `json:"datanodes,omitempty"`
+	Fix       *wireFixReport `json:"fix,omitempty"`
+}
+
+// wireBlock is one block's client-visible metadata.
+type wireBlock struct {
+	ID        int64 `json:"id"`
+	Size      int64 `json:"size"`
+	Stripe    int64 `json:"stripe"` // -1 when unstriped
+	StripePos int   `json:"stripe_pos"`
+	Locations []int `json:"locations,omitempty"`
+}
+
+// wireStripe is one stripe's client-visible layout, enough for a
+// client to plan and execute a degraded read.
+type wireStripe struct {
+	ID        int64     `json:"id"`
+	ShardSize int64     `json:"shard_size"`
+	Positions []wirePos `json:"positions"`
+}
+
+// wirePos is one stripe position: block id (-1 for a phantom zero
+// block), logical size, and live holders.
+type wirePos struct {
+	Block     int64 `json:"block"`
+	Size      int64 `json:"size"`
+	Locations []int `json:"locations,omitempty"`
+}
+
+// wireFixReport is the summary of one block-fixer pass.
+type wireFixReport struct {
+	ScannedBlocks   int `json:"scanned_blocks"`
+	RepairedStriped int `json:"repaired_striped"`
+	ReReplicated    int `json:"re_replicated"`
+	Unrecoverable   int `json:"unrecoverable"`
+}
+
+// RemoteError is an error reported by the far side of an RPC, as
+// opposed to a transport failure. The client treats transport failures
+// as "try another replica / refresh metadata"; remote errors are
+// definitive answers.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// errFrameTooLarge guards against corrupt or hostile frame lengths.
+var errFrameTooLarge = errors.New("serve: frame exceeds size bound")
+
+// writeFrame marshals hdr and writes one length-prefixed frame.
+func writeFrame(w io.Writer, hdr any, payload []byte) error {
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if len(hb) > maxHeaderBytes || len(payload) > maxPayloadBytes {
+		return errFrameTooLarge
+	}
+	var pre [8]byte
+	binary.BigEndian.PutUint32(pre[0:4], uint32(len(hb)))
+	binary.BigEndian.PutUint32(pre[4:8], uint32(len(payload)))
+	if _, err := w.Write(pre[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hb); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, unmarshalling the header into hdr and
+// returning the payload.
+func readFrame(r io.Reader, hdr any) ([]byte, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	hlen := binary.BigEndian.Uint32(pre[0:4])
+	plen := binary.BigEndian.Uint32(pre[4:8])
+	if hlen > maxHeaderBytes || plen > maxPayloadBytes {
+		return nil, errFrameTooLarge
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(hb, hdr); err != nil {
+		return nil, fmt.Errorf("serve: bad frame header: %w", err)
+	}
+	if plen == 0 {
+		return nil, nil
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// okResponse and errResponse build reply headers.
+func okResponse() *response { return &response{OK: true} }
+
+func errResponse(err error) *response { return &response{Err: err.Error()} }

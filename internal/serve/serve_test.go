@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/hdfs"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+// testCodecs returns the three codecs the paper compares, sized small
+// so a localhost cluster stays quick.
+func testCodecs(t *testing.T) []ec.Code {
+	t.Helper()
+	rsc, err := rs.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := core.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := lrc.New(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ec.Code{rsc, pb, lc}
+}
+
+func startTestSystem(t *testing.T, code ec.Code) *System {
+	t.Helper()
+	sys, err := Start(hdfs.Config{
+		Topology:    cluster.Topology{Racks: code.TotalShards() + 2, MachinesPerRack: 2},
+		Code:        code,
+		BlockSize:   4096,
+		Replication: 3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+// TestWriteReadRoundTrip covers the healthy path: bytes written over
+// the wire come back identical, replica reads spread across holders.
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, code := range testCodecs(t) {
+		t.Run(code.Name(), func(t *testing.T) {
+			sys := startTestSystem(t, code)
+			cl, err := Dial(sys.NameAddr(), code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			rng := rand.New(rand.NewSource(1))
+			data := make([]byte, 3*4096+123) // 4 blocks, ragged tail
+			rng.Read(data)
+			if err := cl.WriteFile("f", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.ReadFile("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("read returned %d bytes, mismatch with %d written", len(got), len(data))
+			}
+			c := cl.Counters()
+			if c.Reads != 1 || c.Writes != 1 || c.BlocksRead != 4 || c.DegradedBlocks != 0 {
+				t.Fatalf("unexpected counters %+v", c)
+			}
+		})
+	}
+}
+
+// TestCodecMismatchRejected: the dial handshake enforces the client's
+// codec matches the cluster's.
+func TestCodecMismatchRejected(t *testing.T) {
+	codes := testCodecs(t)
+	sys := startTestSystem(t, codes[0])
+	if _, err := Dial(sys.NameAddr(), codes[1]); err == nil {
+		t.Fatal("dial with mismatched codec succeeded")
+	}
+}
+
+// TestDegradedReadAfterKill is the serving layer's core claim, per
+// codec: kill the datanode holding a data block — while reads are in
+// flight — and every read still returns byte-identical data with zero
+// errors, only degraded block reads.
+func TestDegradedReadAfterKill(t *testing.T) {
+	for _, code := range testCodecs(t) {
+		t.Run(code.Name(), func(t *testing.T) {
+			sys := startTestSystem(t, code)
+			cl, err := Dial(sys.NameAddr(), code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			rng := rand.New(rand.NewSource(2))
+			data := make([]byte, 6*4096) // spans stripes for k=4
+			rng.Read(data)
+			if err := cl.WriteFile("f", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.RaidFile("f"); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := cl.ReadFile("f"); err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("healthy post-raid read broken: %v", err)
+			}
+
+			// Readers hammer the file while the kill lands mid-run.
+			_, blocks, err := sys.Cluster().FileBlocks("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim := blocks[0].Locations[0]
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rcl, err := Dial(sys.NameAddr(), code)
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer rcl.Close()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						got, err := rcl.ReadFile("f")
+						if err != nil {
+							errs <- fmt.Errorf("reader %d: %w", w, err)
+							return
+						}
+						if !bytes.Equal(got, data) {
+							errs <- fmt.Errorf("reader %d: content mismatch", w)
+							return
+						}
+					}
+				}(w)
+			}
+			time.Sleep(30 * time.Millisecond)
+			if err := sys.KillDataNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(120 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Errorf("read error during kill: %v", err)
+			}
+
+			// A fresh read after the kill must be byte-identical and
+			// must have taken the degraded path for the lost block.
+			got, err := cl.ReadFile("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("post-kill read is not byte-identical")
+			}
+			if c := cl.Counters(); c.DegradedBlocks == 0 {
+				t.Fatalf("expected degraded block reads after kill, counters %+v", c)
+			}
+		})
+	}
+}
+
+// TestFixerRestoresHealthyReads: after a wire-driven fixer pass, reads
+// stop being degraded — the block was reconstructed onto a live
+// machine and the namenode serves its new location.
+func TestFixerRestoresHealthyReads(t *testing.T) {
+	code := testCodecs(t)[1] // piggybacked-rs
+	sys := startTestSystem(t, code)
+	cl, err := Dial(sys.NameAddr(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	data := bytes.Repeat([]byte("warehouse"), 2048)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RaidFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := sys.Cluster().FileBlocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.KillDataNode(blocks[0].Locations[0]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.RunBlockFixer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairedStriped == 0 || rep.Unrecoverable != 0 {
+		t.Fatalf("fixer report %+v", rep)
+	}
+	before := cl.Counters().DegradedBlocks
+	got, err := cl.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-fix read is not byte-identical")
+	}
+	if after := cl.Counters().DegradedBlocks; after != before {
+		t.Fatalf("post-fix read still degraded (%d -> %d)", before, after)
+	}
+}
+
+// TestRestartDataNode: a restarted daemon comes back on a fresh port
+// and clients rediscover it through the namenode.
+func TestRestartDataNode(t *testing.T) {
+	code := testCodecs(t)[0]
+	sys := startTestSystem(t, code)
+	cl, err := Dial(sys.NameAddr(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	data := bytes.Repeat([]byte("x"), 4096)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := sys.Cluster().FileBlocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range blocks[0].Locations {
+		if err := cl.FailMachine(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replication 3, all holders dead, unstriped: the read must fail.
+	if _, err := cl.ReadFile("f"); err == nil {
+		t.Fatal("read of fully-failed unstriped file succeeded")
+	}
+	for _, m := range blocks[0].Locations {
+		if err := cl.RestoreMachine(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-restart read is not byte-identical")
+	}
+}
+
+// TestFrameSizeGuards: hostile frame lengths are rejected, not
+// allocated.
+func TestFrameSizeGuards(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &request{Method: "x"}, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload length to something absurd.
+	b := buf.Bytes()
+	b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	var req request
+	if _, err := readFrame(bytes.NewReader(b), &req); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if !strings.Contains(fmt.Sprint(errFrameTooLarge), "size bound") {
+		t.Fatal("unexpected sentinel text")
+	}
+}

@@ -1,0 +1,113 @@
+// Generic framed-RPC server scaffolding shared by the namenode and
+// datanode daemons: a localhost TCP listener, one goroutine per
+// connection, request/response frames in lockstep, and a Close that
+// tears down the listener and every open connection (the mechanism
+// behind "kill a datanode mid-read").
+package serve
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// handlerFunc answers one request. The returned payload rides in the
+// response frame's payload section.
+type handlerFunc func(req *request, payload []byte) (*response, []byte)
+
+// server is one TCP daemon.
+type server struct {
+	ln     net.Listener
+	handle handlerFunc
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newServer listens on an ephemeral localhost port and starts the
+// accept loop.
+func newServer(handle handlerFunc) (*server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &server{ln: ln, handle: handle, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// addr returns the listen address ("127.0.0.1:port").
+func (s *server) addr() string { return s.ln.Addr().String() }
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// serveConn answers frames in lockstep until the connection dies or the
+// server closes.
+func (s *server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		var req request
+		payload, err := readFrame(br, &req)
+		if err != nil {
+			return
+		}
+		resp, out := s.handle(&req, payload)
+		if err := writeFrame(bw, resp, out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// close stops the listener and severs every open connection. In-flight
+// requests are cut off mid-frame — exactly what a machine failure looks
+// like to a client.
+func (s *server) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

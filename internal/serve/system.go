@@ -1,0 +1,139 @@
+// System wires a full serving cluster together on localhost: one
+// hdfs.Cluster as the storage substrate, one datanode daemon per
+// machine, and one namenode fronting the metadata — each on its own
+// TCP port. It is also the failure injector: KillDataNode marks the
+// machine dead at the namenode AND tears down its daemon with every
+// open connection, so clients experience the same thing a real machine
+// loss produces — connections cut mid-frame, then metadata that no
+// longer lists the machine.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ec"
+	"repro/internal/hdfs"
+)
+
+// System is a running serving cluster.
+type System struct {
+	cluster *hdfs.Cluster
+	code    ec.Code
+	nn      *NameNode
+
+	mu  sync.Mutex
+	dns []*DataNode // nil entry = machine's daemon currently down
+}
+
+// Start builds the storage cluster from cfg and brings up one datanode
+// daemon per machine plus the namenode. Close must be called to
+// release the listeners.
+func Start(cfg hdfs.Config) (*System, error) {
+	cluster, err := hdfs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cluster: cluster, code: cfg.Code}
+	s.dns = make([]*DataNode, cluster.Machines())
+	for m := range s.dns {
+		dn, err := startDataNode(cluster, m)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.dns[m] = dn
+	}
+	nn, err := startNameNode(cluster, cfg.Code, cfg.BlockSize, s)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.nn = nn
+	return s, nil
+}
+
+// NameAddr returns the namenode's address — the only address a Client
+// needs.
+func (s *System) NameAddr() string { return s.nn.Addr() }
+
+// Cluster exposes the storage substrate for in-process inspection
+// (tests, victim selection in the load generator).
+func (s *System) Cluster() *hdfs.Cluster { return s.cluster }
+
+// Code returns the cluster's codec.
+func (s *System) Code() ec.Code { return s.code }
+
+// dataNodeAddrs snapshots the address table: index = machine id, ""
+// for a machine whose daemon is down.
+func (s *System) dataNodeAddrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.dns))
+	for m, dn := range s.dns {
+		if dn != nil {
+			out[m] = dn.Addr()
+		}
+	}
+	return out
+}
+
+// KillDataNode fails the machine and tears down its daemon: the
+// namenode stops listing it first (so refreshed metadata is
+// consistent), then every open connection to it is severed.
+func (s *System) KillDataNode(machine int) error { return s.killDataNode(machine) }
+
+func (s *System) killDataNode(machine int) error {
+	s.mu.Lock()
+	if machine < 0 || machine >= len(s.dns) {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: no machine %d", machine)
+	}
+	dn := s.dns[machine]
+	s.dns[machine] = nil
+	s.mu.Unlock()
+	s.cluster.FailMachine(machine)
+	if dn != nil {
+		dn.close()
+	}
+	return nil
+}
+
+// RestartDataNode brings the machine back with its blocks intact and
+// relaunches its daemon on a fresh port; clients discover the new
+// address through the namenode's info method.
+func (s *System) RestartDataNode(machine int) error { return s.restartDataNode(machine) }
+
+func (s *System) restartDataNode(machine int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if machine < 0 || machine >= len(s.dns) {
+		return fmt.Errorf("serve: no machine %d", machine)
+	}
+	if s.dns[machine] != nil {
+		return nil // already up
+	}
+	dn, err := startDataNode(s.cluster, machine)
+	if err != nil {
+		return err
+	}
+	s.cluster.RestoreMachine(machine)
+	s.dns[machine] = dn
+	return nil
+}
+
+// Close tears down the namenode and every datanode daemon.
+func (s *System) Close() error {
+	if s.nn != nil {
+		s.nn.close()
+	}
+	s.mu.Lock()
+	dns := append([]*DataNode(nil), s.dns...)
+	s.mu.Unlock()
+	for _, dn := range dns {
+		if dn != nil {
+			dn.close()
+		}
+	}
+	return nil
+}

@@ -53,6 +53,24 @@
 // head-to-head to BENCH_contention.json, and a MiniHDFS configured with
 // HDFSConfig.Fabric timestamps its BlockFixer passes through the same
 // model.
+//
+// # Serving layer
+//
+// The contention model simulates load; the serving layer serves it.
+// StartServeSystem brings the MiniHDFS up as a real networked service
+// on localhost TCP — a namenode daemon for metadata/placement/fixer
+// control and one datanode daemon per machine for replica range reads,
+// speaking a small framed RPC protocol — and DialServe returns a
+// client whose read path transparently falls back to degraded reads:
+// when a block's holder is gone (or dies mid-transfer), the client
+// fetches the stripe layout, downloads the codec's repair-plan ranges
+// from the surviving datanodes, and reconstructs the block locally.
+// RunServeLoad / RunServeBench drive a closed-loop load generator
+// (configurable clients, read/write mix, mid-run datanode kill)
+// against the live cluster, reporting client-visible throughput,
+// p50/p99 latency, and the degraded-read share per codec;
+// cmd/loadgen and cmd/repaircost -serve write the results to
+// BENCH_serve.json.
 package repro
 
 import (
@@ -69,6 +87,7 @@ import (
 	"repro/internal/regenerating"
 	"repro/internal/reliability"
 	"repro/internal/rs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -469,3 +488,75 @@ func DefaultRaidPolicy() RaidPolicy { return hdfs.DefaultRaidPolicy() }
 
 // NewMiniHDFS builds an empty miniature DFS.
 func NewMiniHDFS(cfg HDFSConfig) (*MiniHDFS, error) { return hdfs.New(cfg) }
+
+// --- Networked serving layer -------------------------------------------
+
+// ServeSystem is a live serving cluster: a MiniHDFS behind a namenode
+// daemon and per-machine datanode daemons on localhost TCP. It doubles
+// as the failure injector: KillDataNode severs a datanode's
+// connections mid-frame and fails the machine; RestartDataNode brings
+// it back on a fresh port.
+type ServeSystem = serve.System
+
+// ServeClient is a serving-layer client. Its read path rotates across
+// replicas and transparently reconstructs missing blocks through the
+// codec's repair plan, fetching helper ranges over the wire.
+type ServeClient = serve.Client
+
+// ServeCounters are a client's cumulative operation counts, including
+// how many block reads took the degraded path.
+type ServeCounters = serve.Counters
+
+// ServeFixReport summarises a block-fixer pass driven over the wire.
+type ServeFixReport = serve.FixReport
+
+// LoadConfig parameterises the closed-loop load generator; the zero
+// value is runnable.
+type LoadConfig = serve.LoadConfig
+
+// LoadResult is one codec's measured serving behaviour under load:
+// throughput, p50/p99 latency, degraded-read share, errors.
+type LoadResult = serve.LoadResult
+
+// ServeBenchReport is the machine-readable BENCH_serve.json payload.
+type ServeBenchReport = serve.BenchReport
+
+// StartServeSystem builds the storage cluster and brings up its
+// namenode and datanode daemons. Close the system to release the
+// listeners.
+func StartServeSystem(cfg HDFSConfig) (*ServeSystem, error) { return serve.Start(cfg) }
+
+// DialServe connects a client to a serving cluster's namenode. code
+// must match the cluster's codec: degraded reads decode locally.
+func DialServe(nameAddr string, code Codec) (*ServeClient, error) { return serve.Dial(nameAddr, code) }
+
+// RunServeLoad starts a serving cluster for the codec, preloads and
+// raids a working set, and drives the closed-loop load (including the
+// configured mid-run datanode kill).
+func RunServeLoad(code Codec, cfg LoadConfig) (*LoadResult, error) { return serve.RunLoad(code, cfg) }
+
+// RunServeBench runs the identical closed-loop load under each codec
+// in turn on a shared configuration.
+func RunServeBench(codecs []Codec, cfg LoadConfig) (*ServeBenchReport, error) {
+	return serve.RunBench(codecs, cfg)
+}
+
+// StandardCodecs returns the paper's codec lineup for (k, r): RS,
+// Piggybacked-RS, and — when (k, r) admits the HDFS-Xorbas two-group
+// shape — LRC. The benchmark commands compare all of them on the same
+// substrate.
+func StandardCodecs(k, r int) ([]Codec, error) {
+	rsc, err := NewRS(k, r)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := NewPiggybackedRS(k, r)
+	if err != nil {
+		return nil, err
+	}
+	out := []Codec{rsc, pb}
+	if lc, err := NewLRC(k, r, 2); err == nil {
+		out = append(out, lc)
+	}
+	return out, nil
+}
