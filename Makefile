@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck fmt fmtcheck test race bench benchsmoke engine-bench contention-bench serve-bench ci
+.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke engine-bench contention-bench serve-bench partialsum-bench ci
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,30 @@ fmtcheck:
 test:
 	$(GO) test ./...
 
+# Per-package coverage: the `ok <pkg> coverage: NN%` lines are the CI
+# job summary; coverage.out feeds go tool cover for local drill-down.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+
 # Race detector on the concurrency-sensitive packages: the stripe-repair
 # engine, the simulator (analytic and contention studies), the netsim
 # fabric, the mini-HDFS (RWMutex metadata + per-datanode locks under
-# concurrent readers/writers/fixer), and the TCP serving layer.
+# concurrent readers/writers/fixer + partial-sum fold tasks), and the
+# TCP serving layer. The serving layer runs twice (-count=2): its tests
+# synchronize on read progress, not wall clocks, and repeating them
+# back-to-back is the regression gate for that flakiness class.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/... ./internal/serve/...
+	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/...
+	$(GO) test -race -count=2 ./internal/serve/...
+
+# A few seconds of native Go fuzzing per codec: random data, random
+# erasure patterns up to each code's tolerance, decode must round-trip
+# byte-identical. Seed corpora live in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run=FuzzRoundTrip -fuzz=FuzzRoundTrip -fuzztime=3s ./internal/rs/
+	$(GO) test -run=FuzzRoundTrip -fuzz=FuzzRoundTrip -fuzztime=3s ./internal/core/
+	$(GO) test -run=FuzzRoundTrip -fuzz=FuzzRoundTrip -fuzztime=3s ./internal/lrc/
 
 # Full benchmark run (regenerates the paper's numbers as metrics).
 bench:
@@ -65,4 +83,10 @@ contention-bench:
 serve-bench:
 	$(GO) run ./cmd/loadgen
 
-ci: build vet staticcheck fmtcheck test race benchsmoke
+# Regenerate BENCH_partialsum.json (conventional vs partial-sum
+# degraded reads per codec: bytes received at the reconstructing
+# client, ~k blocks vs ~1).
+partialsum-bench:
+	$(GO) run ./cmd/loadgen -partialbench
+
+ci: build vet staticcheck fmtcheck test race benchsmoke fuzz-smoke

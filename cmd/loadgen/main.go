@@ -40,12 +40,22 @@ func main() {
 	machines := flag.Int("machines", 2, "machines per rack")
 	writefrac := flag.Float64("writefrac", 0.1, "fraction of operations that write a fresh file (negative = pure reads)")
 	kill := flag.Duration("kill", 0, "kill a working-set datanode this far into each run (0 = duration/3, negative = never)")
+	partialsum := flag.Bool("partialsum", false, "serve degraded reads through the partial-sum pipeline (one folded block from the helper tree)")
+	partialbench := flag.Bool("partialbench", false, "run each codec conventionally AND with partial-sum repair, comparing bytes at the reconstructing client (writes BENCH_partialsum.json)")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
-	out := flag.String("out", "BENCH_serve.json", `results file ("none" disables)`)
+	out := flag.String("out", "", `results file (default BENCH_serve.json, or BENCH_partialsum.json with -partialbench; "none" disables)`)
 	flag.Parse()
 
+	outFile := *out
+	if outFile == "" {
+		if *partialbench {
+			outFile = "BENCH_partialsum.json"
+		} else {
+			outFile = "BENCH_serve.json"
+		}
+	}
 	if err := run(*k, *r, *codecNames, *clients, *duration, *files, *filesize, *blocksize,
-		*racks, *machines, *writefrac, *kill, *seed, *out); err != nil {
+		*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *seed, outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -91,22 +101,27 @@ func buildCodecs(names string, k, r int) ([]repro.Codec, error) {
 
 func run(k, r int, codecNames string, clients int, duration time.Duration, files int,
 	filesize, blocksize int64, racks, machines int, writefrac float64,
-	kill time.Duration, seed int64, outFile string) error {
+	kill time.Duration, partialsum, partialbench bool, seed int64, outFile string) error {
 	codecs, err := buildCodecs(codecNames, k, r)
 	if err != nil {
 		return err
 	}
 	cfg := repro.LoadConfig{
-		Racks:           racks,
-		MachinesPerRack: machines,
-		BlockSize:       blocksize,
-		Files:           files,
-		FileBytes:       filesize,
-		Clients:         clients,
-		Duration:        duration,
-		WriteFraction:   writefrac,
-		KillAfter:       kill,
-		Seed:            seed,
+		Racks:            racks,
+		MachinesPerRack:  machines,
+		BlockSize:        blocksize,
+		Files:            files,
+		FileBytes:        filesize,
+		Clients:          clients,
+		Duration:         duration,
+		WriteFraction:    writefrac,
+		KillAfter:        kill,
+		PartialSumRepair: partialsum,
+		Seed:             seed,
+	}
+
+	if partialbench {
+		return runPartialBench(codecs, cfg, outFile)
 	}
 
 	fmt.Printf("Serving-layer load: %d clients, %v per codec, %d x %s working set, %s blocks\n",
@@ -124,6 +139,34 @@ func run(k, r int, codecNames string, clients int, duration time.Duration, files
 		return err
 	}
 	fmt.Println("\nzero client-visible errors: the mid-run kill was absorbed by degraded reads")
+
+	if outFile != "" && outFile != "none" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outFile)
+	}
+	return nil
+}
+
+// runPartialBench serves the identical kill-mid-run workload twice per
+// codec — conventional fan-in degraded reads, then the partial-sum
+// pipeline — and reports what the reconstructing client's NIC received
+// per degraded block (~k blocks versus ~1 folded block).
+func runPartialBench(codecs []repro.Codec, cfg repro.LoadConfig, outFile string) error {
+	fmt.Printf("Partial-sum comparison: %d clients, %v per run, 2 runs per codec\n\n",
+		cfg.Clients, cfg.Duration)
+	rep, err := repro.RunServePartialSumBench(codecs, cfg)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(rep.FormatTable())
+
+	if err := rep.CheckErrors(); err != nil {
+		return err
+	}
+	fmt.Println("\nzero client-visible errors in both modes")
 
 	if outFile != "" && outFile != "none" {
 		if err := rep.WriteJSON(outFile); err != nil {

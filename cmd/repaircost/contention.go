@@ -41,11 +41,16 @@ type ContentionBenchResult struct {
 	// P99ImprovementFraction is the candidate's (second codec's)
 	// relative p99 repair-latency reduction over the baseline.
 	P99ImprovementFraction float64 `json:"p99_improvement_fraction"`
+	// PartialSumP99ImprovementFraction is the relative p99 reduction of
+	// RS-with-partial-sum-repair over conventional RS — the tentpole's
+	// bottleneck-relief claim quantified on the identical trace.
+	PartialSumP99ImprovementFraction float64 `json:"partial_sum_p99_improvement_fraction"`
 }
 
 // CodecContentionResult is one codec's contention measurements.
 type CodecContentionResult struct {
 	Codec               string  `json:"codec"`
+	PartialSum          bool    `json:"partial_sum"`
 	Repairs             int     `json:"repairs"`
 	RepairP50Secs       float64 `json:"repair_p50_secs"`
 	RepairP99Secs       float64 `json:"repair_p99_secs"`
@@ -59,8 +64,13 @@ type CodecContentionResult struct {
 }
 
 func toCodecResult(r *repro.ContentionResult) CodecContentionResult {
+	name := r.CodeName
+	if r.PartialSums {
+		name += " +partial-sum"
+	}
 	return CodecContentionResult{
-		Codec:               r.CodeName,
+		Codec:               name,
+		PartialSum:          r.PartialSums,
 		Repairs:             r.Repairs,
 		RepairP50Secs:       r.RepairP50,
 		RepairP99Secs:       r.RepairP99,
@@ -129,6 +139,14 @@ func contentionBench(k, r, days int, policyName string, seed int64, outFile stri
 	if err != nil {
 		return err
 	}
+	// The same trace and placement stream, with repairs running as
+	// partial-sum aggregation trees instead of k-wide fan-ins.
+	partialCfg := cfg
+	partialCfg.PartialSums = true
+	partialCmp, err := repro.CompareContentionCodecs(rsc, pb, tr, partialCfg)
+	if err != nil {
+		return err
+	}
 
 	result := ContentionBenchResult{
 		Benchmark:            "contention-repair",
@@ -150,19 +168,26 @@ func contentionBench(k, r, days int, policyName string, seed int64, outFile stri
 		Codecs: []CodecContentionResult{
 			toCodecResult(cmp.Baseline),
 			toCodecResult(cmp.Candidate),
+			toCodecResult(partialCmp.Baseline),
+			toCodecResult(partialCmp.Candidate),
 		},
 		P99ImprovementFraction: cmp.RepairP99Improvement(),
 	}
+	if base := cmp.Baseline.RepairP99; base > 0 {
+		result.PartialSumP99ImprovementFraction = 1 - partialCmp.Baseline.RepairP99/base
+	}
 
-	fmt.Printf("%-22s %10s %10s %10s %10s %12s %10s\n",
+	fmt.Printf("%-34s %10s %10s %10s %10s %12s %10s\n",
 		"codec", "p50", "p99", "mean", "wait", "degraded p50", "slowdown")
 	for _, c := range result.Codecs {
-		fmt.Printf("%-22s %9.1fs %9.1fs %9.1fs %9.1fs %11.1fs %9.2fx\n",
+		fmt.Printf("%-34s %9.1fs %9.1fs %9.1fs %9.1fs %11.1fs %9.2fx\n",
 			c.Codec, c.RepairP50Secs, c.RepairP99Secs, c.RepairMeanSecs,
 			c.RepairWaitMeanSecs, c.DegradedP50Secs, c.DegradedSlowdownP50)
 	}
 	fmt.Printf("\npiggybacked-rs cuts p99 repair latency by %.1f%% at this load\n",
 		100*result.P99ImprovementFraction)
+	fmt.Printf("partial-sum repair cuts RS p99 repair latency by %.1f%% at this load\n",
+		100*result.PartialSumP99ImprovementFraction)
 
 	if outFile != "" {
 		blob, err := json.MarshalIndent(result, "", "  ")

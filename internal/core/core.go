@@ -47,6 +47,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ec"
 	"repro/internal/gf256"
@@ -505,6 +506,179 @@ func (c *Code) PlanRepair(idx int, shardSize int64, alive ec.AliveFunc) (*ec.Rep
 	return plan, nil
 }
 
+// linearAccum accumulates GF(2^8) coefficients per (helper range,
+// target offset) pair, so algebraically-derived contributions that hit
+// the same term XOR together and zero terms drop out.
+type linearAccum struct {
+	plan  *ec.LinearPlan
+	coeff map[ec.LinearTerm]byte // Coeff field zeroed in the key
+}
+
+func newLinearAccum(idx int, shardSize int64) *linearAccum {
+	return &linearAccum{
+		plan:  &ec.LinearPlan{Shard: idx, ShardSize: shardSize},
+		coeff: make(map[ec.LinearTerm]byte),
+	}
+}
+
+func (a *linearAccum) add(read ec.ReadRequest, targetOff int64, coeff byte) {
+	if coeff == 0 {
+		return
+	}
+	key := ec.LinearTerm{Read: read, TargetOff: targetOff}
+	a.coeff[key] ^= coeff
+}
+
+// finish emits the non-zero terms in deterministic order: by target
+// offset, then source shard, then source offset.
+func (a *linearAccum) finish() *ec.LinearPlan {
+	keys := make([]ec.LinearTerm, 0, len(a.coeff))
+	for k, c := range a.coeff {
+		if c != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].TargetOff != keys[j].TargetOff {
+			return keys[i].TargetOff < keys[j].TargetOff
+		}
+		if keys[i].Read.Shard != keys[j].Read.Shard {
+			return keys[i].Read.Shard < keys[j].Read.Shard
+		}
+		return keys[i].Read.Offset < keys[j].Read.Offset
+	})
+	for _, k := range keys {
+		k.Coeff = a.coeff[k]
+		a.plan.Terms = append(a.plan.Terms, k)
+	}
+	return a.plan
+}
+
+// PlanLinearRepair expresses the repair of shard idx as a linear plan.
+// The target has two output segments (the a-half and the b-half), each
+// a GF(2^8) linear combination of fetched half-shard ranges:
+//
+//   - Cheap path (piggyback repair of a grouped data shard): the b-half
+//     is the b-substripe decode of the other data shards' and parity
+//     1's b-halves; the a-half is the piggybacked parity's b-half
+//     (coefficient 1), minus that parity's RS value — whose b_idx input
+//     is itself substituted by the decode combination — minus the other
+//     group members' a-halves.
+//
+//   - Fallback (k whole survivors): both substripes decode with the
+//     same survivor coefficient vector; surviving piggybacked parities
+//     contribute their groups' a-symbols (piggyback stripping), and a
+//     piggybacked-parity target re-adds its own group — every step a
+//     linear substitution, folded into per-range coefficients.
+//
+// Exactly the ranges of PlanRepair are read; evaluation is
+// byte-identical to ExecuteRepair.
+func (c *Code) PlanLinearRepair(idx int, shardSize int64, alive ec.AliveFunc) (*ec.LinearPlan, error) {
+	if idx < 0 || idx >= c.TotalShards() {
+		return nil, fmt.Errorf("%w: %d of %d", ec.ErrShardIndex, idx, c.TotalShards())
+	}
+	if shardSize <= 0 || shardSize%2 != 0 {
+		return nil, fmt.Errorf("%w: shard size %d (must be positive and even)", ec.ErrShardSize, shardSize)
+	}
+	if alive(idx) {
+		return nil, fmt.Errorf("%w: shard %d", ec.ErrShardPresent, idx)
+	}
+	half := shardSize / 2
+	acc := newLinearAccum(idx, shardSize)
+
+	if c.cheapRepairPossible(idx, alive) {
+		g := c.groupOf[idx]
+		p := c.k + 1 + g
+		// b-substripe survivors: the other data shards plus parity 1.
+		bSurv := make([]int, 0, c.k)
+		for i := 0; i < c.k; i++ {
+			if i != idx {
+				bSurv = append(bSurv, i)
+			}
+		}
+		bSurv = append(bSurv, c.k)
+		decB, err := c.rsc.RecoveryCoefficients(idx, bSurv)
+		if err != nil {
+			return nil, err
+		}
+		pr := c.rsc.ParityRow(1 + g)
+		for j, s := range bSurv {
+			bRead := ec.ReadRequest{Shard: s, Offset: half, Length: half}
+			// b-half of the target: the plain b-substripe decode.
+			acc.add(bRead, half, decB[j])
+			// a-half: subtracting the piggybacked parity's RS value,
+			// with b_idx substituted by its decode combination.
+			direct := byte(0)
+			if s < c.k {
+				direct = pr[s]
+			}
+			acc.add(bRead, 0, direct^gf256.Mul(pr[idx], decB[j]))
+		}
+		// a-half: the piggybacked parity's b-half exposes the piggyback…
+		acc.add(ec.ReadRequest{Shard: p, Offset: half, Length: half}, 0, 1)
+		// …and the other group members' a-symbols XOR out of it.
+		for _, m := range c.groups[g] {
+			if m != idx {
+				acc.add(ec.ReadRequest{Shard: m, Offset: 0, Length: half}, 0, 1)
+			}
+		}
+		return acc.finish(), nil
+	}
+
+	// Fallback: k whole survivors, mirroring Reconstruct algebraically.
+	surv := make([]int, 0, c.k)
+	for i := 0; i < c.TotalShards() && len(surv) < c.k; i++ {
+		if i != idx && alive(i) {
+			surv = append(surv, i)
+		}
+	}
+	if len(surv) < c.k {
+		return nil, fmt.Errorf("%w: %d alive, need %d", ec.ErrTooFewShards, len(surv), c.k)
+	}
+	// Both substripes share one survivor set, hence one target vector.
+	ct, err := c.rsc.RecoveryCoefficients(idx, surv)
+	if err != nil {
+		return nil, err
+	}
+	aRead := func(s int) ec.ReadRequest { return ec.ReadRequest{Shard: s, Offset: 0, Length: half} }
+	bRead := func(s int) ec.ReadRequest { return ec.ReadRequest{Shard: s, Offset: half, Length: half} }
+	// addGroupASymbols folds scale * (XOR of group g's data a-symbols)
+	// into the target segment at off, substituting each member's
+	// a-symbol by its decode combination over the survivors' a-halves.
+	addGroupASymbols := func(g int, off int64, scale byte) error {
+		for _, m := range c.groups[g] {
+			cam, err := c.rsc.RecoveryCoefficients(m, surv)
+			if err != nil {
+				return err
+			}
+			for j, s := range surv {
+				acc.add(aRead(s), off, gf256.Mul(scale, cam[j]))
+			}
+		}
+		return nil
+	}
+	for j, s := range surv {
+		// a-half of the target: clean a-substripe decode.
+		acc.add(aRead(s), 0, ct[j])
+		// b-half: decode over the survivors' *clean* b-values — a
+		// surviving piggybacked parity is its fetched b-half plus its
+		// group's a-symbols (piggyback stripping).
+		acc.add(bRead(s), half, ct[j])
+		if g := s - c.k - 1; s > c.k && g < len(c.groups) {
+			if err := addGroupASymbols(g, half, ct[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A piggybacked-parity target re-adds its own piggyback.
+	if g := idx - c.k - 1; idx > c.k && g < len(c.groups) {
+		if err := addGroupASymbols(g, half, 1); err != nil {
+			return nil, err
+		}
+	}
+	return acc.finish(), nil
+}
+
 // ExecuteRepair reconstructs shard idx by downloading the ranges of its
 // repair plan through fetch.
 func (c *Code) ExecuteRepair(idx int, shardSize int64, alive ec.AliveFunc, fetch ec.FetchFunc) ([]byte, error) {
@@ -742,4 +916,7 @@ func (c *Code) ExecuteMultiRepair(missing []int, shardSize int64, alive ec.Alive
 }
 
 // Verify interface compliance.
-var _ ec.Code = (*Code)(nil)
+var (
+	_ ec.Code                = (*Code)(nil)
+	_ ec.LinearRepairPlanner = (*Code)(nil)
+)

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: random data, random (k, r), random erasure patterns up
+// to the piggybacked code's tolerance of r (it stays MDS) — decode must
+// be byte-identical, piggybacks included.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint64(0b1011), uint64(0))
+	f.Add([]byte("piggybacking adds functions of one substripe onto the other"), uint64(0x7fff), uint64(9))
+	f.Add([]byte{0xff, 0x00}, uint64(1<<5), uint64(41))
+	f.Fuzz(func(t *testing.T, data []byte, mask, params uint64) {
+		k := 2 + int(params%7)
+		r := 2 + int((params/7)%3)
+		code, err := New(k, r)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, r, err)
+		}
+		total := code.TotalShards()
+
+		// Build an even-sized stripe (MinShardSize == 2).
+		per := (len(data) + k - 1) / k
+		if per < 2 {
+			per = 2
+		}
+		if per%2 != 0 {
+			per++
+		}
+		shards := make([][]byte, total)
+		for i := 0; i < k; i++ {
+			shards[i] = make([]byte, per)
+			if lo := i * per; lo < len(data) {
+				copy(shards[i], data[lo:])
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		orig := make([][]byte, total)
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+
+		var erased []int
+		for i := 0; i < total && len(erased) < r; i++ {
+			if mask&(1<<(i%64)) != 0 {
+				shards[i] = nil
+				erased = append(erased, i)
+			}
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct after erasing %v: %v", erased, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d differs after reconstructing %v", i, erased)
+			}
+		}
+		if ok, err := code.Verify(shards); err != nil || !ok {
+			t.Fatalf("Verify after reconstruct: ok=%v err=%v", ok, err)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Linear repair plans: the algebraic form behind partial-sum repair.
+//
+// Every codec in this repository is linear over GF(2^8), so any
+// single-shard repair is expressible as a pure multiply-accumulate over
+// the helper ranges it reads:
+//
+//	target[t.TargetOff : t.TargetOff+t.Read.Length] ^= t.Coeff ⊗ fetch(t.Read)
+//
+// for every term t of the plan. A RepairPlan says *which bytes move*; a
+// LinearPlan additionally says *what each helper multiplies its bytes
+// by*, which is exactly what lets the arithmetic migrate from the
+// reconstructing node into the helpers: each helper computes its local
+// terms, XOR-folds partial sums arriving from upstream helpers, and
+// forwards one target-sized buffer — so the reconstructing node
+// receives one block instead of k.
+//
+// The same helper range may appear in several terms (a Piggybacked-RS
+// b-half feeds both the a-segment and the b-segment of the target); it
+// is read once and multiplied once per term.
+package ec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// LinearTerm is one multiply-accumulate input of a linear repair: the
+// helper range to read, the GF(2^8) coefficient to scale it by, and the
+// offset within the target shard where the product folds in.
+type LinearTerm struct {
+	Read      ReadRequest
+	Coeff     byte
+	TargetOff int64
+}
+
+// LinearPlan expresses one single-shard repair as a sum of linear
+// terms. Evaluating every term into a zeroed ShardSize buffer yields
+// the repaired shard, byte-identical to ExecuteRepair.
+type LinearPlan struct {
+	// Shard is the index being repaired.
+	Shard int
+	// ShardSize is the target's size in bytes.
+	ShardSize int64
+	// Terms are the multiply-accumulate inputs. Zero-coefficient terms
+	// are omitted by the planners.
+	Terms []LinearTerm
+}
+
+// LinearRepairPlanner is implemented by codecs whose single-shard
+// repair is expressible as a LinearPlan for every failure pattern their
+// PlanRepair supports. The partial-sum repair pipeline requires it.
+type LinearRepairPlanner interface {
+	PlanLinearRepair(idx int, shardSize int64, alive AliveFunc) (*LinearPlan, error)
+}
+
+// Reads returns the distinct helper ranges the plan touches, in first-
+// appearance order — what actually moves off helper disks (terms
+// sharing a range read it once).
+func (p *LinearPlan) Reads() []ReadRequest {
+	seen := make(map[ReadRequest]bool, len(p.Terms))
+	out := make([]ReadRequest, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		if !seen[t.Read] {
+			seen[t.Read] = true
+			out = append(out, t.Read)
+		}
+	}
+	return out
+}
+
+// TotalBytes returns the bytes the plan's distinct reads move off
+// helper disks.
+func (p *LinearPlan) TotalBytes() int64 {
+	var n int64
+	for _, r := range p.Reads() {
+		n += r.Length
+	}
+	return n
+}
+
+// ValidateLinearPlan checks the structural invariants of a linear plan:
+// target in range, every term's read within shard bounds and alive,
+// never reading the target itself, fold destinations within the target,
+// and no zero coefficients (planners drop them).
+func ValidateLinearPlan(plan *LinearPlan, total int, alive AliveFunc) error {
+	if plan == nil {
+		return errors.New("ec: nil linear plan")
+	}
+	if plan.Shard < 0 || plan.Shard >= total {
+		return fmt.Errorf("%w: plan target %d of %d", ErrShardIndex, plan.Shard, total)
+	}
+	if plan.ShardSize <= 0 {
+		return fmt.Errorf("%w: plan shard size %d", ErrShardSize, plan.ShardSize)
+	}
+	for _, t := range plan.Terms {
+		r := t.Read
+		if r.Shard < 0 || r.Shard >= total {
+			return fmt.Errorf("%w: term reads shard %d", ErrShardIndex, r.Shard)
+		}
+		if r.Shard == plan.Shard {
+			return fmt.Errorf("%w: term reads its own target %d", ErrShardIndex, r.Shard)
+		}
+		if !alive(r.Shard) {
+			return fmt.Errorf("ec: term reads dead shard %d", r.Shard)
+		}
+		// Overflow-safe bounds: Offset+Length can wrap int64 on hostile
+		// input, so compare against ShardSize-Length instead.
+		if r.Length <= 0 || r.Length > plan.ShardSize || r.Offset < 0 || r.Offset > plan.ShardSize-r.Length {
+			return fmt.Errorf("%w: term read [%d, +%d) of %d-byte shard", ErrShardSize, r.Offset, r.Length, plan.ShardSize)
+		}
+		if t.TargetOff < 0 || t.TargetOff > plan.ShardSize-r.Length {
+			return fmt.Errorf("%w: term folds into [%d, +%d) of %d-byte target", ErrShardSize, t.TargetOff, r.Length, plan.ShardSize)
+		}
+		if t.Coeff == 0 {
+			return errors.New("ec: zero-coefficient term")
+		}
+	}
+	return nil
+}
+
+// EvaluateLinearPlan computes the repaired shard by fetching each
+// distinct range once through fetch and folding every term — the
+// reference (single-node) evaluation the distributed partial-sum
+// pipeline must agree with byte-for-byte.
+func EvaluateLinearPlan(plan *LinearPlan, fetch FetchFunc) ([]byte, error) {
+	out := make([]byte, plan.ShardSize)
+	got := make(map[ReadRequest][]byte, len(plan.Terms))
+	for _, t := range plan.Terms {
+		buf, ok := got[t.Read]
+		if !ok {
+			var err error
+			buf, err = fetch(t.Read)
+			if err != nil {
+				return nil, fmt.Errorf("ec: fetching shard %d: %w", t.Read.Shard, err)
+			}
+			if int64(len(buf)) != t.Read.Length {
+				return nil, fmt.Errorf("%w: fetch of shard %d returned %d bytes, want %d",
+					ErrShardSize, t.Read.Shard, len(buf), t.Read.Length)
+			}
+			got[t.Read] = buf
+		}
+		gf256.MulSliceXor(t.Coeff, buf, out[t.TargetOff:t.TargetOff+t.Read.Length])
+	}
+	return out, nil
+}

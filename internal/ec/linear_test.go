@@ -1,0 +1,172 @@
+package ec_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+// linearCodecs returns codec constructions spanning the repair paths:
+// plain RS, piggybacked (with and without ungrouped shards), and LRC.
+func linearCodecs(t *testing.T) []ec.Code {
+	t.Helper()
+	out := []ec.Code{}
+	rsc, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rsc)
+	rs42, err := rs.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rs42)
+	pb, err := core.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, pb)
+	// r == 2 leaves data shards 2 and 3 ungrouped: exercises the
+	// whole-shard fallback even for single data failures.
+	pb42, err := core.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, pb42)
+	lc, err := lrc.New(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, lc)
+	lc42, err := lrc.New(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, lc42)
+}
+
+// encodeRandomStripe builds one valid random stripe for the codec.
+func encodeRandomStripe(t *testing.T, code ec.Code, rng *rand.Rand, shardSize int) [][]byte {
+	t.Helper()
+	shards := make([][]byte, code.TotalShards())
+	for i := 0; i < code.DataShards(); i++ {
+		shards[i] = make([]byte, shardSize)
+		rng.Read(shards[i])
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func memFetch(shards [][]byte) ec.FetchFunc {
+	return func(req ec.ReadRequest) ([]byte, error) {
+		return append([]byte(nil), shards[req.Shard][req.Offset:req.Offset+req.Length]...), nil
+	}
+}
+
+// TestLinearPlanMatchesExecuteRepair is the core algebraic property of
+// partial-sum repair: for every codec, every repair target, and
+// randomized extra failures up to the codec's tolerance, evaluating the
+// linear plan is byte-identical to ExecuteRepair, and the plan reads
+// exactly the ranges PlanRepair charges for.
+func TestLinearPlanMatchesExecuteRepair(t *testing.T) {
+	const shardSize = 64
+	for _, code := range linearCodecs(t) {
+		code := code
+		t.Run(code.Name(), func(t *testing.T) {
+			lp, ok := code.(ec.LinearRepairPlanner)
+			if !ok {
+				t.Fatalf("%s does not implement LinearRepairPlanner", code.Name())
+			}
+			rng := rand.New(rand.NewSource(7))
+			shards := encodeRandomStripe(t, code, rng, shardSize)
+			total := code.TotalShards()
+			maxExtra := code.ParityShards() - 1
+			for idx := 0; idx < total; idx++ {
+				for trial := 0; trial < 8; trial++ {
+					down := map[int]bool{idx: true}
+					for extra := rng.Intn(maxExtra + 1); extra > 0; extra-- {
+						down[rng.Intn(total)] = true
+					}
+					downList := make([]int, 0, len(down))
+					for d := range down {
+						downList = append(downList, d)
+					}
+					alive := ec.AllAliveExcept(downList...)
+
+					want, wantErr := code.ExecuteRepair(idx, shardSize, alive, memFetch(shards))
+					plan, planErr := lp.PlanLinearRepair(idx, shardSize, alive)
+					if wantErr != nil {
+						// Unrepairable patterns must fail on both paths.
+						if planErr == nil {
+							t.Fatalf("idx %d down %v: ExecuteRepair failed (%v) but linear plan succeeded", idx, downList, wantErr)
+						}
+						continue
+					}
+					if planErr != nil {
+						t.Fatalf("idx %d down %v: PlanLinearRepair: %v", idx, downList, planErr)
+					}
+					if err := ec.ValidateLinearPlan(plan, total, alive); err != nil {
+						t.Fatalf("idx %d down %v: invalid plan: %v", idx, downList, err)
+					}
+					got, err := ec.EvaluateLinearPlan(plan, memFetch(shards))
+					if err != nil {
+						t.Fatalf("idx %d down %v: evaluate: %v", idx, downList, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("idx %d down %v: linear evaluation differs from ExecuteRepair", idx, downList)
+					}
+					if !bytes.Equal(got, shards[idx]) {
+						t.Fatalf("idx %d down %v: repaired shard differs from original", idx, downList)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLinearPlanReadsMatchPlanRepair: the linear plan's distinct reads
+// move the same bytes as the codec's RepairPlan — partial-sum repair
+// changes where arithmetic happens, not what leaves helper disks.
+func TestLinearPlanReadsMatchPlanRepair(t *testing.T) {
+	const shardSize = 32
+	for _, code := range linearCodecs(t) {
+		code := code
+		t.Run(code.Name(), func(t *testing.T) {
+			lp := code.(ec.LinearRepairPlanner)
+			for idx := 0; idx < code.TotalShards(); idx++ {
+				alive := ec.AllAliveExcept(idx)
+				conv, err := code.PlanRepair(idx, shardSize, alive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lin, err := lp.PlanLinearRepair(idx, shardSize, alive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Compare per-shard byte totals: the linear planner may
+				// split whole-shard reads into halves or drop
+				// zero-coefficient sources, but it must never read a
+				// shard the conventional plan does not.
+				convBytes := make(map[int]int64)
+				for _, r := range conv.Reads {
+					convBytes[r.Shard] += r.Length
+				}
+				for _, r := range lin.Reads() {
+					if _, ok := convBytes[r.Shard]; !ok {
+						t.Fatalf("idx %d: linear plan reads shard %d outside the conventional plan", idx, r.Shard)
+					}
+				}
+				if lin.TotalBytes() > conv.TotalBytes() {
+					t.Fatalf("idx %d: linear plan reads %d bytes, conventional %d", idx, lin.TotalBytes(), conv.TotalBytes())
+				}
+			}
+		})
+	}
+}

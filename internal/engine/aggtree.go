@@ -1,0 +1,192 @@
+// The aggregation-tree planner of partial-sum repair: it turns a
+// codec's linear repair plan (which helper ranges, which GF(2^8)
+// coefficients) plus the cluster's placement (which machine holds which
+// shard, which rack holds which machine) into a rack-aware fold tree.
+//
+// Every node of the tree is one helper machine. A node reads its local
+// ranges, multiplies them by their coefficients into a target-sized
+// buffer, XOR-folds the partial sums arriving from its children, and
+// forwards the folded buffer to its parent; the root forwards to the
+// reconstructing node. Shape: within a rack, helpers chain into one
+// local aggregator, so exactly one partial buffer crosses each rack's
+// TOR uplink; the rack aggregators then fold pairwise in a balanced
+// binary tree, so the fold finishes in ~log2 rounds instead of ~k. The
+// reconstructing node therefore receives ONE target-sized buffer where
+// a conventional repair fans k block-sized reads into its NIC — the
+// bottleneck the paper measures moved off the newcomer's link.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ec"
+)
+
+// AggTerm is one local multiply-accumulate a helper performs: read
+// [Offset, Offset+Length) of the block at stripe position Shard,
+// multiply by Coeff, fold into the partial buffer at TargetOff.
+type AggTerm struct {
+	Shard          int
+	Offset, Length int64
+	TargetOff      int64
+	Coeff          byte
+}
+
+// AggNode is one helper in the aggregation tree.
+type AggNode struct {
+	// Machine is the helper machine folding at this node.
+	Machine int
+	// Terms are the node's local multiply-accumulates.
+	Terms []AggTerm
+	// Children are the subtrees whose partial sums this node folds in.
+	Children []*AggNode
+}
+
+// AggPlan is a planned partial-sum repair: a fold tree whose root
+// produces the repaired shard.
+type AggPlan struct {
+	// Shard is the stripe position being repaired.
+	Shard int
+	// TargetSize is the folded buffer size (the stripe's shard size).
+	TargetSize int64
+	// Root is the final aggregator; its folded buffer IS the repaired
+	// shard and is what the reconstructing node downloads.
+	Root *AggNode
+}
+
+// ErrNoHelpers is returned when every term of the linear plan maps to a
+// phantom (all-zero) shard, leaving no machine to aggregate at; callers
+// should reconstruct locally instead.
+var ErrNoHelpers = errors.New("engine: linear plan has no addressable helpers")
+
+// PlanAggregationTree builds the rack-aware fold tree for a linear
+// repair plan. machineOf maps a stripe position to the machine serving
+// its block (ok == false marks a phantom zero shard, whose terms
+// contribute nothing and are dropped); rackOf maps machines to racks.
+// Terms of shards co-located on one machine merge into one node. The
+// tree is deterministic: machines sort ascending within racks, racks
+// sort ascending into the heap order, the lowest rack's aggregator is
+// the root.
+func PlanAggregationTree(plan *ec.LinearPlan, machineOf func(shard int) (machine int, ok bool), rackOf func(machine int) int) (*AggPlan, error) {
+	if plan == nil || plan.ShardSize <= 0 {
+		return nil, errors.New("engine: invalid linear plan")
+	}
+	byMachine := make(map[int][]AggTerm)
+	for _, t := range plan.Terms {
+		m, ok := machineOf(t.Read.Shard)
+		if !ok {
+			continue // phantom zero shard: contributes nothing
+		}
+		byMachine[m] = append(byMachine[m], AggTerm{
+			Shard:     t.Read.Shard,
+			Offset:    t.Read.Offset,
+			Length:    t.Read.Length,
+			TargetOff: t.TargetOff,
+			Coeff:     t.Coeff,
+		})
+	}
+	if len(byMachine) == 0 {
+		return nil, ErrNoHelpers
+	}
+
+	byRack := make(map[int][]int)
+	for m := range byMachine {
+		r := rackOf(m)
+		byRack[r] = append(byRack[r], m)
+	}
+	racks := make([]int, 0, len(byRack))
+	for r := range byRack {
+		racks = append(racks, r)
+		sort.Ints(byRack[r])
+	}
+	sort.Ints(racks)
+
+	// Within each rack: chain the machines below the rack aggregator
+	// (the lowest machine id), so one buffer crosses the TOR.
+	aggs := make([]*AggNode, len(racks))
+	for i, r := range racks {
+		machines := byRack[r]
+		var child *AggNode
+		for j := len(machines) - 1; j >= 0; j-- {
+			node := &AggNode{Machine: machines[j], Terms: byMachine[machines[j]]}
+			if child != nil {
+				node.Children = append(node.Children, child)
+			}
+			child = node
+		}
+		aggs[i] = child
+	}
+	// Across racks: rack aggregators fold pairwise in a balanced binary
+	// tree (heap shape: aggs[i] folds aggs[2i+1] and aggs[2i+2]). A
+	// cross-rack chain would also keep every link at one buffer, but it
+	// serializes ~R store-and-forward hops; the balanced tree folds in
+	// ceil(log2 R) rounds with sibling subtrees in flight concurrently,
+	// which is where the repair-latency win over the k-fan-in comes
+	// from once per-link load is already flat.
+	for i := len(aggs) - 1; i > 0; i-- {
+		aggs[(i-1)/2].Children = append(aggs[(i-1)/2].Children, aggs[i])
+	}
+	return &AggPlan{Shard: plan.Shard, TargetSize: plan.ShardSize, Root: aggs[0]}, nil
+}
+
+// Nodes returns every node of the tree in depth-first order.
+func (p *AggPlan) Nodes() []*AggNode {
+	var out []*AggNode
+	var walk func(n *AggNode)
+	walk = func(n *AggNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// FlattenTerms returns every local term of the tree — the effective
+// coefficient set the fold computes, which must equal the linear plan's
+// (the property the correctness suite asserts).
+func (p *AggPlan) FlattenTerms() []AggTerm {
+	var out []AggTerm
+	for _, n := range p.Nodes() {
+		out = append(out, n.Terms...)
+	}
+	return out
+}
+
+// Validate checks the tree's structural invariants: every machine
+// appears exactly once, every node's children outside its own rack are
+// rack aggregators (each rack hands exactly one buffer upward), and
+// terms stay within the target bounds.
+func (p *AggPlan) Validate(rackOf func(machine int) int) error {
+	if p.Root == nil {
+		return errors.New("engine: aggregation plan has no root")
+	}
+	seen := make(map[int]bool)
+	crossOut := make(map[int]int) // rack -> buffers it sends across its TOR
+	for _, n := range p.Nodes() {
+		if seen[n.Machine] {
+			return fmt.Errorf("engine: machine %d appears twice in aggregation tree", n.Machine)
+		}
+		seen[n.Machine] = true
+		for _, t := range n.Terms {
+			// Overflow-safe: TargetOff+Length can wrap int64.
+			if t.Length <= 0 || t.Length > p.TargetSize || t.TargetOff < 0 || t.TargetOff > p.TargetSize-t.Length {
+				return fmt.Errorf("engine: term folds [%d, +%d) outside %d-byte target", t.TargetOff, t.Length, p.TargetSize)
+			}
+		}
+		for _, c := range n.Children {
+			if cr := rackOf(c.Machine); cr != rackOf(n.Machine) {
+				crossOut[cr]++
+			}
+		}
+	}
+	for rack, n := range crossOut {
+		if n > 1 {
+			return fmt.Errorf("engine: rack %d sends %d buffers across its TOR, want 1", rack, n)
+		}
+	}
+	return nil
+}

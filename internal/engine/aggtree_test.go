@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/gf256"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+// randomCodec draws one of the three codec families with small random
+// parameters, so plans span whole-shard, half-shard, and XOR terms.
+func randomCodec(t *testing.T, rng *rand.Rand) ec.Code {
+	t.Helper()
+	k := 2 + rng.Intn(6)
+	r := 2 + rng.Intn(3)
+	switch rng.Intn(3) {
+	case 0:
+		c, err := rs.New(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	case 1:
+		c, err := core.New(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	default:
+		c, err := lrc.New(k, r, 1+rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+}
+
+// foldTree executes the aggregation tree in memory: each node applies
+// its terms over the stripe's shards and XOR-folds its children —
+// exactly what the distributed datanodes do, minus the network.
+func foldTree(n *AggNode, shards [][]byte, targetSize int64) []byte {
+	buf := make([]byte, targetSize)
+	for _, t := range n.Terms {
+		src := shards[t.Shard][t.Offset : t.Offset+t.Length]
+		gf256.MulSliceXor(t.Coeff, src, buf[t.TargetOff:t.TargetOff+t.Length])
+	}
+	for _, c := range n.Children {
+		gf256.XorSlice(foldTree(c, shards, targetSize), buf)
+	}
+	return buf
+}
+
+// TestAggregationTreeProperties is the randomized-placement property
+// suite: for random codecs, random failure targets, and random
+// machine/rack placements, every planned tree must
+//
+//  1. cover every helper machine exactly once and every linear-plan
+//     term exactly once (no double counting, no drops),
+//  2. respect rack locality — each rack forwards exactly one partial
+//     buffer across its TOR,
+//  3. fold to the same effective coefficients as the direct decode
+//     vector, verified both symbolically (flattened terms == plan
+//     terms) and numerically (tree fold == plan evaluation == the
+//     original shard bytes).
+func TestAggregationTreeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const shardSize = 32
+	for trial := 0; trial < 200; trial++ {
+		code := randomCodec(t, rng)
+		lp := code.(ec.LinearRepairPlanner)
+		total := code.TotalShards()
+
+		// Random placement: shards land on random machines of a random
+		// topology; co-location (several shards on one machine or rack)
+		// is allowed so the merge paths get exercised.
+		racks := 2 + rng.Intn(total+2)
+		perRack := 1 + rng.Intn(3)
+		machines := racks * perRack
+		placement := make([]int, total)
+		for i := range placement {
+			placement[i] = rng.Intn(machines)
+		}
+		rackOf := func(m int) int { return m / perRack }
+		machineOf := func(shard int) (int, bool) { return placement[shard], true }
+
+		idx := rng.Intn(total)
+		plan, err := lp.PlanLinearRepair(idx, shardSize, ec.AllAliveExcept(idx))
+		if err != nil {
+			t.Fatalf("trial %d %s idx %d: %v", trial, code.Name(), idx, err)
+		}
+		tree, err := PlanAggregationTree(plan, machineOf, rackOf)
+		if err != nil {
+			t.Fatalf("trial %d %s idx %d: %v", trial, code.Name(), idx, err)
+		}
+		if err := tree.Validate(rackOf); err != nil {
+			t.Fatalf("trial %d %s idx %d: %v", trial, code.Name(), idx, err)
+		}
+
+		// (1) Coverage: the helper machine set is exactly the placement
+		// image of the plan's sources, each appearing once (Validate
+		// rejects duplicates; check the sets match).
+		wantMachines := map[int]bool{}
+		for _, term := range plan.Terms {
+			wantMachines[placement[term.Read.Shard]] = true
+		}
+		nodes := tree.Nodes()
+		if len(nodes) != len(wantMachines) {
+			t.Fatalf("trial %d: tree has %d nodes, want %d helper machines", trial, len(nodes), len(wantMachines))
+		}
+		for _, n := range nodes {
+			if !wantMachines[n.Machine] {
+				t.Fatalf("trial %d: tree contains non-helper machine %d", trial, n.Machine)
+			}
+		}
+
+		// (3a) Symbolic: flattened tree terms == plan terms, exactly once.
+		type key struct {
+			shard     int
+			off, ln   int64
+			targetOff int64
+		}
+		planCoeff := map[key]byte{}
+		for _, term := range plan.Terms {
+			planCoeff[key{term.Read.Shard, term.Read.Offset, term.Read.Length, term.TargetOff}] = term.Coeff
+		}
+		seen := map[key]bool{}
+		for _, term := range tree.FlattenTerms() {
+			k := key{term.Shard, term.Offset, term.Length, term.TargetOff}
+			if seen[k] {
+				t.Fatalf("trial %d: term %+v folded twice", trial, term)
+			}
+			seen[k] = true
+			if planCoeff[k] != term.Coeff {
+				t.Fatalf("trial %d: term %+v has coeff %d, decode vector says %d", trial, term, term.Coeff, planCoeff[k])
+			}
+		}
+		if len(seen) != len(planCoeff) {
+			t.Fatalf("trial %d: tree folds %d terms, plan has %d", trial, len(seen), len(planCoeff))
+		}
+
+		// (3b) Numeric: fold the tree over a real stripe.
+		shards := make([][]byte, total)
+		for i := 0; i < code.DataShards(); i++ {
+			shards[i] = make([]byte, shardSize)
+			rng.Read(shards[i])
+		}
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		got := foldTree(tree.Root, shards, tree.TargetSize)
+		if !bytes.Equal(got, shards[idx]) {
+			t.Fatalf("trial %d %s idx %d: tree fold differs from original shard", trial, code.Name(), idx)
+		}
+	}
+}
+
+// TestAggregationTreePhantoms: phantom shards (short tail stripes) drop
+// out of the tree; an all-phantom plan reports ErrNoHelpers.
+func TestAggregationTreePhantoms(t *testing.T) {
+	code, err := rs.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := code.PlanLinearRepair(0, 16, ec.AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackOf := func(m int) int { return m }
+	// Shards 2 and 3 are phantoms: their terms must vanish.
+	tree, err := PlanAggregationTree(plan, func(shard int) (int, bool) {
+		return shard, shard != 2 && shard != 3
+	}, rackOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range tree.FlattenTerms() {
+		if term.Shard == 2 || term.Shard == 3 {
+			t.Fatalf("phantom shard %d appears in tree", term.Shard)
+		}
+	}
+	if _, err := PlanAggregationTree(plan, func(int) (int, bool) { return 0, false }, rackOf); err != ErrNoHelpers {
+		t.Fatalf("all-phantom plan: got %v, want ErrNoHelpers", err)
+	}
+}

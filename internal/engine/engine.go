@@ -198,6 +198,18 @@ func (e *Engine) RunEncodes(jobs []EncodeJob) []error {
 	return errs
 }
 
+// RunTasks executes a batch of arbitrary stripe-scoped closures across
+// the worker pool, returning per-task errors in task order — the hook
+// the partial-sum BlockFixer path uses to run its fold trees with the
+// same concurrency bound as conventional repairs.
+func (e *Engine) RunTasks(tasks []func() error) []error {
+	errs := make([]error, len(tasks))
+	e.forEach(len(tasks), func(i int, _ *Scratch) {
+		errs[i] = tasks[i]()
+	})
+	return errs
+}
+
 // forEach runs fn(i) for i in [0, n) across min(par, n) workers, each
 // holding a pooled scratch arena for its lifetime.
 func (e *Engine) forEach(n int, fn func(i int, s *Scratch)) {

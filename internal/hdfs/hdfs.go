@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ec"
 	"repro/internal/engine"
+	"repro/internal/gf256"
 	"repro/internal/netsim"
 )
 
@@ -178,6 +179,16 @@ type Config struct {
 	// GOMAXPROCS. Repaired bytes and traffic accounting are identical
 	// at any setting.
 	RepairParallelism int
+	// PartialSumRepair routes single-block stripe repairs through the
+	// distributed partial-sum pipeline when the codec supports linear
+	// repair plans: helpers fold coefficient-scaled ranges along a
+	// rack-aware aggregation tree and the destination receives ONE
+	// folded block instead of the plan's ~k ranges. Repaired bytes are
+	// byte-identical; the network accounting changes shape (one
+	// block-sized transfer per tree edge instead of a fan-in), which is
+	// the point. Multi-block fixes and pipeline failures fall back to
+	// the conventional fan-in transparently.
+	PartialSumRepair bool
 	// Fabric, when non-nil, supplies link capacities for a netsim
 	// contention model: every BlockFixer pass replays its stripe
 	// repairs' actual wire transfers through the fabric and reports
@@ -804,6 +815,10 @@ type FixReport struct {
 	// ReReplicated counts replicated blocks copied from a surviving
 	// replica.
 	ReReplicated int
+	// PartialSumRepairs counts stripe repairs delivered by the
+	// partial-sum aggregation pipeline (always zero unless
+	// Config.PartialSumRepair is set).
+	PartialSumRepairs int
 	// Unrecoverable lists blocks that could not be restored.
 	Unrecoverable []BlockID
 	// CrossRackBytes is the cross-rack traffic this pass generated.
@@ -895,6 +910,11 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 	// accounting is thread-safe — so foreground reads interleave with
 	// the decodes; application (stores, onward shipping) retakes the
 	// lock and is serial again in stripe order.
+	//
+	// With PartialSumRepair set, single-block fixes of a linear-planning
+	// codec run as aggregation-tree folds instead of engine decodes; a
+	// pipeline that fails mid-fold (helper died) falls back to the
+	// conventional fan-in within its task.
 	fixes := make([]*stripeFix, 0, len(stripeOrder))
 	for _, sid := range stripeOrder {
 		lost := lostByStripe[sid]
@@ -907,60 +927,183 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 		}
 		fixes = append(fixes, fix)
 	}
-	jobs := make([]engine.RepairJob, len(fixes))
-	// With a contention fabric configured, each fix records the actual
-	// wire transfers its fetches perform; one recorder per fix, written
-	// only by the engine worker executing that fix.
-	var recorded [][]netsim.Transfer
-	if c.cfg.Fabric != nil {
-		recorded = make([][]netsim.Transfer, len(fixes))
-	}
+	outcomes := make([]fixOutcome, len(fixes))
+	recordWire := c.cfg.Fabric != nil
+	_, linearOK := c.cfg.Code.(ec.LinearRepairPlanner)
+	// One task per fix, all submitted as a single engine batch so
+	// conventional decodes and partial-sum folds share the parallelism
+	// bound instead of draining in two phases.
+	tasks := make([]func() error, len(fixes))
 	for i, f := range fixes {
-		var record func(src int, bytes int64)
-		if recorded != nil {
-			i := i
-			record = func(src int, bytes int64) {
-				recorded[i] = append(recorded[i], netsim.Transfer{Src: src, Bytes: bytes})
+		i, f := i, f
+		// With a contention fabric configured, each fix records its
+		// actual wire legs (fan-in transfers or fold-tree hops); one
+		// recorder per fix, written only by the worker executing it.
+		record := func(src int, bytes int64) {
+			outcomes[i].transfers = append(outcomes[i].transfers, netsim.Transfer{Src: src, Bytes: bytes})
+		}
+		if !recordWire {
+			record = nil
+		}
+		conventional := func() error {
+			out := &outcomes[i]
+			out.shards, out.err = c.cfg.Code.ExecuteMultiRepair(
+				f.positions, f.sm.shardSize, c.stripeAlive(f.sm), c.stripeFetch(f.sm, f.worker(), record))
+			return nil
+		}
+		if c.cfg.PartialSumRepair && linearOK && len(f.positions) == 1 {
+			tasks[i] = func() error {
+				shards, hops, err := c.executePartialFix(f, recordWire)
+				if err == nil {
+					out := &outcomes[i]
+					out.shards, out.hops, out.viaPartial = shards, hops, true
+					return nil
+				}
+				return conventional()
 			}
+			continue
 		}
-		jobs[i] = engine.RepairJob{
-			Code:      c.cfg.Code,
-			Missing:   f.positions,
-			ShardSize: f.sm.shardSize,
-			Alive:     c.stripeAlive(f.sm),
-			Fetch:     c.stripeFetch(f.sm, f.worker(), record),
-		}
+		tasks[i] = conventional
 	}
 	c.mu.Unlock()
-	results := c.eng.RunRepairs(jobs)
+	c.eng.RunTasks(tasks)
 	c.mu.Lock()
 	var applied []int
 	for i, f := range fixes {
-		if results[i].Err != nil {
+		if outcomes[i].err != nil {
 			for _, bm := range f.lost {
 				report.Unrecoverable = append(report.Unrecoverable, bm.id)
 			}
 			continue
 		}
-		c.applyStripeFixLocked(f, results[i].Shards, report)
+		repairedBefore := report.RepairedStriped
+		c.applyStripeFixLocked(f, outcomes[i].shards, report)
+		if outcomes[i].viaPartial && report.RepairedStriped > repairedBefore {
+			report.PartialSumRepairs++
+		}
 		applied = append(applied, i)
 	}
 	report.CrossRackBytes = c.net.CrossRackBytes() - before
 	c.mu.Unlock()
-	if recorded != nil && len(applied) > 0 {
-		if err := c.simulateFixContention(fixes, recorded, applied, report); err != nil {
+	if recordWire && len(applied) > 0 {
+		if err := c.simulateFixContention(fixes, outcomes, applied, report); err != nil {
 			return nil, err
 		}
 	}
 	return report, nil
 }
 
-// simulateFixContention replays the applied fixes' recorded transfers
+// fixOutcome is the execution-phase result of one planned stripe fix.
+type fixOutcome struct {
+	shards     map[int][]byte
+	err        error
+	viaPartial bool
+	// transfers (fan-in legs) or hops (fold-tree edges) record the wire
+	// shape for the contention replay; at most one is non-empty.
+	transfers []netsim.Transfer
+	hops      []netsim.Hop
+}
+
+// executePartialFix rebuilds the single lost block of a stripe through
+// the partial-sum pipeline: plan the linear repair, pin a live holder
+// per helper position, plan the rack-aware aggregation tree, and fold
+// it — each helper multiply-accumulates its local ranges and XORs in
+// its children's folded buffers, every tree edge moving exactly one
+// shard-sized buffer through the network accounting. The final hop
+// delivers the repaired shard to the fix's destination. Runs with the
+// metadata lock released; metadata reads take the read lock for their
+// own duration (stripe position tables are immutable once created, and
+// block I/O takes only datanode leaf locks).
+func (c *Cluster) executePartialFix(f *stripeFix, recordWire bool) (map[int][]byte, []netsim.Hop, error) {
+	pos := f.positions[0]
+	lp := c.cfg.Code.(ec.LinearRepairPlanner)
+	sm := f.sm
+
+	c.mu.RLock()
+	plan, err := lp.PlanLinearRepair(pos, sm.shardSize, c.stripeAliveLocked(sm))
+	if err != nil {
+		c.mu.RUnlock()
+		return nil, nil, err
+	}
+	holder := make(map[int]int)
+	for _, t := range plan.Terms {
+		shard := t.Read.Shard
+		if _, ok := holder[shard]; ok {
+			continue
+		}
+		id := sm.blocks[shard]
+		if id < 0 {
+			continue // phantom zero shard
+		}
+		live := c.liveLocations(c.blocks[id])
+		if len(live) == 0 {
+			c.mu.RUnlock()
+			return nil, nil, fmt.Errorf("%w: stripe %d position %d", ErrBlockLost, sm.id, shard)
+		}
+		holder[shard] = c.pickReplica(live)
+	}
+	c.mu.RUnlock()
+
+	tree, err := engine.PlanAggregationTree(plan,
+		func(shard int) (int, bool) { m, ok := holder[shard]; return m, ok },
+		c.cfg.Topology.RackOf,
+	)
+	if err != nil {
+		if errors.Is(err, engine.ErrNoHelpers) {
+			// Every helper was a phantom: the lost block is known zeros.
+			return map[int][]byte{pos: make([]byte, sm.shardSize)}, nil, nil
+		}
+		return nil, nil, err
+	}
+	var hops []netsim.Hop
+	var fold func(n *engine.AggNode) ([]byte, []int, error)
+	fold = func(n *engine.AggNode) ([]byte, []int, error) {
+		buf := make([]byte, tree.TargetSize)
+		for _, t := range n.Terms {
+			data, err := c.nodes[n.Machine].readRange(sm.blocks[t.Shard], t.Offset, t.Length)
+			if err != nil {
+				return nil, nil, err
+			}
+			gf256.MulSliceXor(t.Coeff, data, buf[t.TargetOff:t.TargetOff+t.Length])
+		}
+		var after []int
+		for _, child := range n.Children {
+			cbuf, cafter, err := fold(child)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := c.net.Transfer(child.Machine, n.Machine, tree.TargetSize); err != nil {
+				return nil, nil, err
+			}
+			if recordWire {
+				hops = append(hops, netsim.Hop{Src: child.Machine, Dst: n.Machine, Bytes: tree.TargetSize, After: cafter})
+				after = append(after, len(hops)-1)
+			}
+			gf256.XorSlice(cbuf, buf)
+		}
+		return buf, after, nil
+	}
+	buf, rootAfter, err := fold(tree.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.net.Transfer(tree.Root.Machine, f.worker(), tree.TargetSize); err != nil {
+		return nil, nil, err
+	}
+	if recordWire {
+		hops = append(hops, netsim.Hop{Src: tree.Root.Machine, Dst: f.worker(), Bytes: tree.TargetSize, After: rootAfter})
+	}
+	return map[int][]byte{pos: buf}, hops, nil
+}
+
+// simulateFixContention replays the applied fixes' recorded wire shape
 // through the netsim fabric: all stripes submitted at time zero, FIFO,
 // concurrency bounded by the repair engine's parallelism — the same
 // shape the real pass executed with, but with every flow fair-sharing
-// NICs, TOR links, and the aggregation switch.
-func (c *Cluster) simulateFixContention(fixes []*stripeFix, recorded [][]netsim.Transfer, applied []int, report *FixReport) error {
+// NICs, TOR links, and the aggregation switch. Conventional fixes
+// replay as fan-ins; partial-sum fixes replay as their fold-tree hop
+// pipelines.
+func (c *Cluster) simulateFixContention(fixes []*stripeFix, outcomes []fixOutcome, applied []int, report *FixReport) error {
 	sim, err := netsim.NewSimulator(c.cfg.fabricTopology())
 	if err != nil {
 		return err
@@ -974,7 +1117,8 @@ func (c *Cluster) simulateFixContention(fixes []*stripeFix, recorded [][]netsim.
 		sched.Submit(netsim.Job{
 			ID:        jobID,
 			Dst:       f.worker(),
-			Transfers: append([]netsim.Transfer(nil), recorded[i]...),
+			Transfers: append([]netsim.Transfer(nil), outcomes[i].transfers...),
+			Hops:      append([]netsim.Hop(nil), outcomes[i].hops...),
 		})
 	}
 	shipID := len(applied)
@@ -1354,6 +1498,16 @@ func (c *Cluster) Stripe(id StripeID) (StripeDetail, error) {
 
 // Machines returns the number of datanodes in the cluster.
 func (c *Cluster) Machines() int { return len(c.nodes) }
+
+// Topology returns the cluster's rack/machine layout — the serving
+// layer hands its geometry to clients so partial-sum fold trees can be
+// planned rack-aware.
+func (c *Cluster) Topology() cluster.Topology { return c.cfg.Topology }
+
+// BlockSize returns the configured block payload bound. Shard sizes
+// never exceed it rounded up to the codec's alignment, which is the
+// bound the serving layer enforces on partial-sum fold buffers.
+func (c *Cluster) BlockSize() int64 { return c.cfg.BlockSize }
 
 // MachineAlive reports whether the machine currently answers
 // heartbeats.

@@ -1,0 +1,206 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ec"
+	"repro/internal/lrc"
+	"repro/internal/netsim"
+)
+
+func lrcCode(t *testing.T) *lrc.Code {
+	t.Helper()
+	c, err := lrc.New(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// partialCluster builds a cluster with PartialSumRepair enabled.
+func partialCluster(t *testing.T, code ec.Code, seed int64, fabric *netsim.Topology) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Topology:          cluster.Topology{Racks: 20, MachinesPerRack: 3},
+		Code:              code,
+		BlockSize:         1024,
+		Replication:       3,
+		Seed:              seed,
+		RepairParallelism: 2,
+		PartialSumRepair:  true,
+		Fabric:            fabric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPartialSumFixerByteIdentical: with the flag on, single-block
+// fixes run through the aggregation pipeline and restore byte-identical
+// content for every codec — the fixer-side half of the tentpole's
+// acceptance criterion.
+func TestPartialSumFixerByteIdentical(t *testing.T) {
+	for _, code := range []ec.Code{rsCode(t), pbCode(t), lrcCode(t)} {
+		code := code
+		t.Run(code.Name(), func(t *testing.T) {
+			c := partialCluster(t, code, 9, nil)
+			data := randBytes(7, 8*1024)
+			if err := c.WriteFile("f", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RaidFile("f"); err != nil {
+				t.Fatal(err)
+			}
+			locs, _ := c.BlockLocations("f")
+			c.DecommissionMachine(locs[2][0])
+
+			report, err := c.RunBlockFixer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report.Unrecoverable) != 0 {
+				t.Fatalf("unrecoverable blocks: %v", report.Unrecoverable)
+			}
+			if report.RepairedStriped < 1 {
+				t.Fatalf("fixer repaired %d striped blocks, want >= 1", report.RepairedStriped)
+			}
+			if report.PartialSumRepairs != report.RepairedStriped {
+				t.Fatalf("%d of %d stripe repairs took the partial-sum pipeline",
+					report.PartialSumRepairs, report.RepairedStriped)
+			}
+			got, err := c.ReadFile("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("partial-sum fixer restored wrong bytes")
+			}
+		})
+	}
+}
+
+// TestPartialSumFixerMatchesConventional: the same failure fixed with
+// the flag on and off restores identical bytes, and the partial run
+// reports its pipeline use while the conventional run reports none.
+func TestPartialSumFixerMatchesConventional(t *testing.T) {
+	run := func(partial bool) ([]byte, *FixReport) {
+		cfg := Config{
+			Topology:         cluster.Topology{Racks: 20, MachinesPerRack: 3},
+			Code:             pbCode(t),
+			BlockSize:        1024,
+			Replication:      3,
+			Seed:             11,
+			PartialSumRepair: partial,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randBytes(13, 6*1024)
+		if err := c.WriteFile("f", data); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RaidFile("f"); err != nil {
+			t.Fatal(err)
+		}
+		locs, _ := c.BlockLocations("f")
+		c.DecommissionMachine(locs[1][0])
+		report, err := c.RunBlockFixer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ReadFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, report
+	}
+	convBytes, convReport := run(false)
+	partBytes, partReport := run(true)
+	if !bytes.Equal(convBytes, partBytes) {
+		t.Fatal("partial and conventional fixers restored different bytes")
+	}
+	if convReport.PartialSumRepairs != 0 {
+		t.Fatalf("conventional run reported %d partial repairs", convReport.PartialSumRepairs)
+	}
+	if partReport.PartialSumRepairs == 0 {
+		t.Fatal("partial run reported no pipeline repairs")
+	}
+}
+
+// TestPartialSumFixerMultiBlockFallsBack: a stripe with two lost blocks
+// is outside the single-target pipeline and must fall back to the
+// conventional joint decode — still fully repaired.
+func TestPartialSumFixerMultiBlockFallsBack(t *testing.T) {
+	c := partialCluster(t, rsCode(t), 10, nil)
+	data := randBytes(8, 4*1024)
+	if err := c.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RaidFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := c.BlockLocations("f")
+	c.DecommissionMachine(locs[0][0])
+	c.DecommissionMachine(locs[1][0])
+
+	report, err := c.RunBlockFixer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Unrecoverable) != 0 {
+		t.Fatalf("unrecoverable blocks: %v", report.Unrecoverable)
+	}
+	if report.PartialSumRepairs != 0 {
+		t.Fatalf("multi-block fix reported %d partial repairs, want 0", report.PartialSumRepairs)
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fallback fixer restored wrong bytes")
+	}
+}
+
+// TestPartialSumFixerContentionReplay: with a fabric configured, the
+// partial fixer's fold-tree hops replay through netsim and produce
+// simulated repair times, exactly like conventional fan-ins do.
+func TestPartialSumFixerContentionReplay(t *testing.T) {
+	fabric := netsim.DefaultTopology(20, 3)
+	c := partialCluster(t, rsCode(t), 12, &fabric)
+	data := randBytes(5, 4*1024)
+	if err := c.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RaidFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := c.BlockLocations("f")
+	c.DecommissionMachine(locs[0][0])
+
+	report, err := c.RunBlockFixer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PartialSumRepairs == 0 {
+		t.Fatal("no partial-sum repairs ran")
+	}
+	if len(report.SimulatedRepairSeconds) != report.PartialSumRepairs {
+		t.Fatalf("simulated %d repairs, applied %d", len(report.SimulatedRepairSeconds), report.PartialSumRepairs)
+	}
+	for i, s := range report.SimulatedRepairSeconds {
+		if s <= 0 {
+			t.Fatalf("simulated repair %d took %v seconds", i, s)
+		}
+	}
+	if report.SimulatedMakespanSeconds <= 0 {
+		t.Fatal("no simulated makespan")
+	}
+	if got, err := c.ReadFile("f"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-fix read broken: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package lrc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: random data, random (k, r, g), random erasure patterns
+// within the LRC's guaranteed tolerance — up to r erasures among the
+// data + global shards (a global decode always has k survivors there),
+// optionally trading the last slot for one local-parity erasure so the
+// local XOR paths get fuzzed too. Decode must be byte-identical.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint64(0b1011), uint64(0))
+	f.Add([]byte("local parities trade storage for cheap single repairs"), uint64(0x7fff), uint64(9))
+	f.Add([]byte{1, 2, 3}, uint64(1<<6), uint64(23))
+	f.Fuzz(func(t *testing.T, data []byte, mask, params uint64) {
+		k := 2 + int(params%7)
+		r := 2 + int((params/7)%3)
+		g := 1 + int((params/21)%2)
+		code, err := New(k, r, g)
+		if err != nil {
+			t.Fatalf("New(%d,%d,%d): %v", k, r, g, err)
+		}
+		total := code.TotalShards()
+
+		per := (len(data) + k - 1) / k
+		if per < 1 {
+			per = 1
+		}
+		shards := make([][]byte, total)
+		for i := 0; i < k; i++ {
+			shards[i] = make([]byte, per)
+			if lo := i * per; lo < len(data) {
+				copy(shards[i], data[lo:])
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		orig := make([][]byte, total)
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+
+		var erased []int
+		for i := 0; i < k+r && len(erased) < r; i++ {
+			if mask&(1<<(i%64)) != 0 {
+				shards[i] = nil
+				erased = append(erased, i)
+			}
+		}
+		// High mask bit: also erase one local parity when the budget
+		// allows (a lone local-parity loss always rebuilds from its
+		// intact group).
+		if mask&(1<<63) != 0 && len(erased) < r {
+			p := k + r + int(mask%uint64(g))
+			shards[p] = nil
+			erased = append(erased, p)
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct after erasing %v: %v", erased, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d differs after reconstructing %v", i, erased)
+			}
+		}
+		if ok, err := code.Verify(shards); err != nil || !ok {
+			t.Fatalf("Verify after reconstruct: ok=%v err=%v", ok, err)
+		}
+	})
+}

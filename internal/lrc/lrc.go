@@ -355,6 +355,72 @@ func (c *Code) localSources(idx int, alive ec.AliveFunc) ([]int, bool) {
 	return sources, true
 }
 
+// PlanLinearRepair expresses the repair of shard idx as a linear plan
+// over whole surviving shards: a local repair is an XOR of the group
+// (all coefficients 1); a global repair uses the RS decode vector over
+// k data+global survivors, composing the group XOR on top when the
+// target is a local parity. Exactly the ranges of PlanRepair are read.
+func (c *Code) PlanLinearRepair(idx int, shardSize int64, alive ec.AliveFunc) (*ec.LinearPlan, error) {
+	if idx < 0 || idx >= c.TotalShards() {
+		return nil, fmt.Errorf("%w: %d of %d", ec.ErrShardIndex, idx, c.TotalShards())
+	}
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("%w: shard size %d", ec.ErrShardSize, shardSize)
+	}
+	if alive(idx) {
+		return nil, fmt.Errorf("%w: shard %d", ec.ErrShardPresent, idx)
+	}
+	plan := &ec.LinearPlan{Shard: idx, ShardSize: shardSize}
+	if sources, ok := c.localSources(idx, alive); ok {
+		for _, s := range sources {
+			plan.Terms = append(plan.Terms, ec.LinearTerm{
+				Read:  ec.ReadRequest{Shard: s, Offset: 0, Length: shardSize},
+				Coeff: 1,
+			})
+		}
+		return plan, nil
+	}
+	sources := make([]int, 0, c.k)
+	for i := 0; i < c.k+c.r && len(sources) < c.k; i++ {
+		if i != idx && alive(i) {
+			sources = append(sources, i)
+		}
+	}
+	if len(sources) < c.k {
+		return nil, fmt.Errorf("%w: %d alive among data+global, need %d", ec.ErrTooFewShards, len(sources), c.k)
+	}
+	coeffs := make([]byte, c.k)
+	if idx < c.k+c.r {
+		ct, err := c.rsc.RecoveryCoefficients(idx, sources)
+		if err != nil {
+			return nil, err
+		}
+		copy(coeffs, ct)
+	} else {
+		// Local parity through the global path: XOR of its group
+		// members, each substituted by its decode combination.
+		for _, m := range c.localGroups[idx-c.k-c.r] {
+			cm, err := c.rsc.RecoveryCoefficients(m, sources)
+			if err != nil {
+				return nil, err
+			}
+			for j := range coeffs {
+				coeffs[j] ^= cm[j]
+			}
+		}
+	}
+	for j, s := range sources {
+		if coeffs[j] == 0 {
+			continue
+		}
+		plan.Terms = append(plan.Terms, ec.LinearTerm{
+			Read:  ec.ReadRequest{Shard: s, Offset: 0, Length: shardSize},
+			Coeff: coeffs[j],
+		})
+	}
+	return plan, nil
+}
+
 // ExecuteRepair reconstructs shard idx by fetching the ranges of its
 // repair plan through fetch.
 func (c *Code) ExecuteRepair(idx int, shardSize int64, alive ec.AliveFunc, fetch ec.FetchFunc) ([]byte, error) {
@@ -595,4 +661,7 @@ func (c *Code) ExecuteMultiRepair(missing []int, shardSize int64, alive ec.Alive
 	return out, nil
 }
 
-var _ ec.Code = (*Code)(nil)
+var (
+	_ ec.Code                = (*Code)(nil)
+	_ ec.LinearRepairPlanner = (*Code)(nil)
+)

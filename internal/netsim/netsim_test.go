@@ -329,3 +329,97 @@ func approx(t *testing.T, what string, got, want float64) {
 		t.Fatalf("%s = %g, want %g", what, got, want)
 	}
 }
+
+// TestSchedulerHopPipeline pins a dependency-ordered hop pipeline to
+// hand-computed times on the 2x2 test fabric (NIC 100 B/s, TOR 150):
+//
+//	hop0: 0->1, 300 B, intra-rack: rate 100, done at 3s
+//	hop1: 1->2, 300 B, cross-rack, after hop0: 3s more, done at 6s
+//
+// The job finishes when the last hop lands: 6s. A fan-in of the same
+// two legs into machine 2 would instead share 2's NIC downlink.
+func TestSchedulerHopPipeline(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicyFIFO, 1)
+	sched.Submit(Job{
+		ID:  1,
+		Dst: 2,
+		Hops: []Hop{
+			{Src: 0, Dst: 1, Bytes: 300},
+			{Src: 1, Dst: 2, Bytes: 300, After: []int{0}},
+		},
+	})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if len(res) != 1 {
+		t.Fatalf("want 1 result, got %d", len(res))
+	}
+	approx(t, "pipeline finish", res[0].Finish, 6)
+	if res[0].Bytes != 600 {
+		t.Fatalf("pipeline bytes %d, want 600", res[0].Bytes)
+	}
+}
+
+// TestSchedulerHopTreeParallelism: two independent leaf hops feed a
+// final fold edge. The leaves run concurrently (disjoint links), so
+// the tree finishes in 3s + 3s = 6s, not 3+3+3.
+//
+//	hop0: 0->1 (300 B, rack 0) and hop1: 3->2 (300 B, rack 1) are
+//	link-disjoint: both run at 100 B/s, done at 3s.
+//	hop2: 1->2, 300 B, after both: cross-rack at 100 B/s, done at 6s.
+func TestSchedulerHopTreeParallelism(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicyFIFO, 1)
+	sched.Submit(Job{
+		ID:  1,
+		Dst: 2,
+		Hops: []Hop{
+			{Src: 0, Dst: 1, Bytes: 300},
+			{Src: 3, Dst: 2, Bytes: 300},
+			{Src: 1, Dst: 2, Bytes: 300, After: []int{0, 1}},
+		},
+	})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if len(res) != 1 {
+		t.Fatalf("want 1 result, got %d", len(res))
+	}
+	approx(t, "tree finish", res[0].Finish, 6)
+}
+
+// TestSchedulerHopLoopback: loopback and zero-byte hops complete at
+// launch time through the event loop, releasing their dependents.
+func TestSchedulerHopLoopback(t *testing.T) {
+	s, err := NewSimulator(testTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(s, PolicyFIFO, 1)
+	sched.Submit(Job{
+		ID:  1,
+		Dst: 1,
+		Hops: []Hop{
+			{Src: 0, Dst: 0, Bytes: 500},                  // loopback: free
+			{Src: 0, Dst: 1, Bytes: 0, After: []int{0}},   // zero bytes: free
+			{Src: 0, Dst: 1, Bytes: 200, After: []int{1}}, // 2s at NIC rate
+		},
+	})
+	if err := s.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Results()
+	if len(res) != 1 {
+		t.Fatalf("want 1 result, got %d", len(res))
+	}
+	approx(t, "loopback pipeline finish", res[0].Finish, 2)
+}

@@ -43,16 +43,42 @@ type Transfer struct {
 	Bytes int64
 }
 
-// Job is one repair (or degraded read) to schedule: a fan-in of
-// transfers from surviving helpers to a single destination. The job
-// completes when its last transfer completes.
+// Hop is one edge of a multi-hop repair pipeline — a partial-sum
+// aggregation tree, where helpers fold upstream partial buffers and
+// forward one folded buffer downstream. A hop starts only after every
+// hop listed in After has completed (the fold edges feeding its
+// source).
+type Hop struct {
+	// Src and Dst are the edge's endpoints.
+	Src, Dst int
+	// Bytes is the folded buffer size carried on this edge.
+	Bytes int64
+	// After lists indices (into the job's Hops) that must complete
+	// before this hop starts. The builder must keep it acyclic.
+	After []int
+}
+
+// Job is one repair (or degraded read) to schedule. Two shapes:
+//
+//   - Conventional fan-in: Transfers from surviving helpers to Dst,
+//     all concurrent; the job completes when the last one does. This
+//     is what concentrates k block-sized flows on Dst's NIC downlink.
+//
+//   - Partial-sum pipeline: Hops (when non-empty, Transfers is
+//     ignored) — a dependency-ordered aggregation tree whose final
+//     edge delivers one folded buffer to Dst. Per-edge bytes match
+//     the fan-in's per-helper bytes in aggregate across the fabric,
+//     but no single link carries more than ~one block.
 type Job struct {
 	// ID tags the job in results.
 	ID int
 	// Dst is the machine reconstructing the block.
 	Dst int
-	// Transfers are the helper reads of the repair plan.
+	// Transfers are the helper reads of a conventional repair plan.
 	Transfers []Transfer
+	// Hops, when non-empty, replaces Transfers with a multi-hop
+	// aggregation pipeline.
+	Hops []Hop
 	// Degraded marks a client-facing degraded read (a block read that
 	// had to reconstruct); the priority-lane policy fast-paths these.
 	Degraded bool
@@ -60,9 +86,16 @@ type Job struct {
 	Submit float64
 }
 
-// TotalBytes sums the job's transfer sizes.
+// TotalBytes sums the job's wire bytes (transfer legs, or hop edges
+// for a pipeline job).
 func (j *Job) TotalBytes() int64 {
 	var n int64
+	if len(j.Hops) > 0 {
+		for _, h := range j.Hops {
+			n += h.Bytes
+		}
+		return n
+	}
 	for _, t := range j.Transfers {
 		n += t.Bytes
 	}
@@ -163,6 +196,10 @@ func (s *Scheduler) smallestIndex() int {
 func (s *Scheduler) launch(qj *queuedJob, class Class) {
 	qj.start = s.sim.Now()
 	counted := class == ClassBulk
+	if len(qj.job.Hops) > 0 {
+		s.launchHops(qj, class, counted)
+		return
+	}
 	live := 0
 	for _, tr := range qj.job.Transfers {
 		if tr.Src == qj.job.Dst || tr.Bytes == 0 {
@@ -188,6 +225,68 @@ func (s *Scheduler) launch(qj *queuedJob, class Class) {
 			}
 		}); err != nil {
 			panic(fmt.Sprintf("netsim: scheduler launch: %v", err))
+		}
+	}
+}
+
+// launchHops executes a job's multi-hop pipeline: hops with no unmet
+// dependencies start immediately; each completion releases its
+// dependents. Loopback and zero-byte hops still round through the
+// event loop, so completion order stays deterministic.
+func (s *Scheduler) launchHops(qj *queuedJob, class Class, counted bool) {
+	hops := qj.job.Hops
+	qj.outstanding = len(hops)
+	waiting := make([]int, len(hops)) // unmet dependency count per hop
+	dependents := make([][]int, len(hops))
+	for i, h := range hops {
+		for _, a := range h.After {
+			if a < 0 || a >= len(hops) {
+				panic(fmt.Sprintf("netsim: hop %d depends on out-of-range hop %d", i, a))
+			}
+			waiting[i]++
+			dependents[a] = append(dependents[a], i)
+		}
+	}
+	var start func(i int)
+	start = func(i int) {
+		h := hops[i]
+		if _, err := s.sim.StartFlow(h.Src, h.Dst, h.Bytes, class, func(float64) {
+			qj.outstanding--
+			for _, d := range dependents[i] {
+				if waiting[d]--; waiting[d] == 0 {
+					start(d)
+				}
+			}
+			if qj.outstanding == 0 {
+				s.finish(qj, counted)
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("netsim: scheduler hop launch: %v", err))
+		}
+	}
+	// Enforce acyclicity up front (Kahn's count over a copy): a hop
+	// stuck in a cycle would otherwise silently strand the job with its
+	// concurrency slot held, starving everything queued behind it.
+	left := append([]int(nil), waiting...)
+	queue := make([]int, 0, len(hops))
+	for i := range hops {
+		if left[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for n := 0; n < len(queue); n++ {
+		for _, d := range dependents[queue[n]] {
+			if left[d]--; left[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(queue) != len(hops) {
+		panic(fmt.Sprintf("netsim: pipeline job has a dependency cycle (%d of %d hops reachable)", len(queue), len(hops)))
+	}
+	for i := range hops {
+		if waiting[i] == 0 {
+			start(i)
 		}
 	}
 }

@@ -1,0 +1,81 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+// FuzzRoundTrip: random data, random (k, r), random erasure patterns up
+// to the code's tolerance of r — decode must be byte-identical to what
+// was encoded. params packs the (k, r) draw; mask drives which shards
+// are erased.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint64(0b1011), uint64(0))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint64(0x7fff), uint64(9))
+	f.Add([]byte{0}, uint64(1), uint64(41))
+	f.Fuzz(func(t *testing.T, data []byte, mask, params uint64) {
+		k := 2 + int(params%7)
+		r := 2 + int((params/7)%3)
+		code, err := New(k, r)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, r, err)
+		}
+		shards, orig := fuzzStripe(t, code, data)
+		erased := fuzzErase(shards, mask, r, code.TotalShards())
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct after erasing %v: %v", erased, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d differs after reconstructing %v", i, erased)
+			}
+		}
+		if ok, err := code.Verify(shards); err != nil || !ok {
+			t.Fatalf("Verify after reconstruct: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// fuzzStripe splits the fuzz input into a valid encoded stripe and
+// returns it plus a deep copy of the originals.
+func fuzzStripe(t *testing.T, code ec.Code, data []byte) (shards, orig [][]byte) {
+	t.Helper()
+	k := code.DataShards()
+	per := (len(data) + k - 1) / k
+	if per < code.MinShardSize() {
+		per = code.MinShardSize()
+	}
+	if rem := per % code.MinShardSize(); rem != 0 {
+		per += code.MinShardSize() - rem
+	}
+	shards = make([][]byte, code.TotalShards())
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, per)
+		if lo := i * per; lo < len(data) {
+			copy(shards[i], data[lo:])
+		}
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	orig = make([][]byte, len(shards))
+	for i, s := range shards {
+		orig[i] = append([]byte(nil), s...)
+	}
+	return shards, orig
+}
+
+// fuzzErase nils up to tolerance shards selected by mask bits and
+// returns the erased indices.
+func fuzzErase(shards [][]byte, mask uint64, tolerance, total int) []int {
+	var erased []int
+	for i := 0; i < total && len(erased) < tolerance; i++ {
+		if mask&(1<<(i%64)) != 0 {
+			shards[i] = nil
+			erased = append(erased, i)
+		}
+	}
+	return erased
+}

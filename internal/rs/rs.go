@@ -318,6 +318,81 @@ func (c *Code) decodeMatrix(survivors []int) (*matrix.Matrix, error) {
 	return inv, nil
 }
 
+// RecoveryCoefficients returns the GF(2^8) vector c such that, for any
+// codeword of this code, shard target equals sum_i c[i]*shard(survivors[i]).
+// survivors must be exactly k distinct shard indices. A target that is
+// itself a survivor yields the unit vector; any other target (data or
+// parity) is expressed through the survivor set's decode matrix — for a
+// parity target the generator row is composed with the decode, so the
+// result is still a single linear combination of the k survivors. This
+// is the algebraic core of partial-sum repair: helpers can apply c
+// locally and XOR-fold, because the whole repair is one dot product.
+func (c *Code) RecoveryCoefficients(target int, survivors []int) ([]byte, error) {
+	if target < 0 || target >= c.TotalShards() {
+		return nil, fmt.Errorf("%w: target %d of %d", ec.ErrShardIndex, target, c.TotalShards())
+	}
+	for i, s := range survivors {
+		if s == target {
+			out := make([]byte, len(survivors))
+			out[i] = 1
+			return out, nil
+		}
+	}
+	dec, err := c.decodeMatrix(survivors)
+	if err != nil {
+		return nil, err
+	}
+	if target < c.k {
+		return append([]byte(nil), dec.RowView(target)...), nil
+	}
+	// Parity target: compose its generator row with the decode matrix.
+	genRow := c.gen.RowView(target)
+	out := make([]byte, c.k)
+	for s := 0; s < c.k; s++ {
+		var acc byte
+		for i := 0; i < c.k; i++ {
+			acc ^= gf256.Mul(genRow[i], dec.RowView(i)[s])
+		}
+		out[s] = acc
+	}
+	return out, nil
+}
+
+// PlanLinearRepair expresses the repair of shard idx as one linear
+// combination of k whole surviving shards: the same reads PlanRepair
+// charges for, each annotated with its decode coefficient. Terms with a
+// zero coefficient are dropped (their helpers contribute nothing).
+func (c *Code) PlanLinearRepair(idx int, shardSize int64, alive ec.AliveFunc) (*ec.LinearPlan, error) {
+	if idx < 0 || idx >= c.TotalShards() {
+		return nil, fmt.Errorf("%w: %d of %d", ec.ErrShardIndex, idx, c.TotalShards())
+	}
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("%w: shard size %d", ec.ErrShardSize, shardSize)
+	}
+	if alive(idx) {
+		return nil, fmt.Errorf("%w: shard %d", ec.ErrShardPresent, idx)
+	}
+	sources := c.pickAlive(idx, alive)
+	if len(sources) < c.k {
+		return nil, fmt.Errorf("%w: %d alive, need %d", ec.ErrTooFewShards, len(sources), c.k)
+	}
+	coeffs, err := c.RecoveryCoefficients(idx, sources)
+	if err != nil {
+		return nil, err
+	}
+	plan := &ec.LinearPlan{Shard: idx, ShardSize: shardSize}
+	for i, s := range sources {
+		if coeffs[i] == 0 {
+			continue
+		}
+		plan.Terms = append(plan.Terms, ec.LinearTerm{
+			Read:  ec.ReadRequest{Shard: s, Offset: 0, Length: shardSize},
+			Coeff: coeffs[i],
+		})
+	}
+	return plan, nil
+}
+
 // PlanRepair returns the reads needed to repair shard idx: k whole
 // surviving shards (the paper's k-fold recovery amplification). idx must
 // be reported dead by alive.
@@ -451,4 +526,7 @@ func (c *Code) ExecuteMultiRepair(missing []int, shardSize int64, alive ec.Alive
 	return out, nil
 }
 
-var _ ec.Code = (*Code)(nil)
+var (
+	_ ec.Code                = (*Code)(nil)
+	_ ec.LinearRepairPlanner = (*Code)(nil)
+)

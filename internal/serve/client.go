@@ -10,6 +10,7 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/ec"
+	"repro/internal/engine"
 )
 
 // defaultTimeout bounds one RPC round trip. Localhost RPCs answer in
@@ -26,6 +28,17 @@ const defaultTimeout = 10 * time.Second
 // readAttempts bounds how many times a block read refreshes metadata
 // and retries after transport failures before giving up.
 const readAttempts = 4
+
+// perNodePartialBudget is the extra deadline budget granted per helper
+// of a partial-sum subtree: one dn.partial RPC covers its whole
+// subtree's sequential fold, so its timeout must grow with the tree.
+const perNodePartialBudget = 500 * time.Millisecond
+
+// partialTimeout returns the deadline for a dn.partial call over a
+// subtree of n nodes.
+func partialTimeout(n int) time.Duration {
+	return defaultTimeout + time.Duration(n)*perNodePartialBudget
+}
 
 // conn is one pooled client connection: requests on it are serialised
 // (the protocol is strict request/response lockstep).
@@ -75,11 +88,30 @@ func (c *conn) close() { c.nc.Close() }
 // Counters are a client's cumulative operation counts. DegradedBlocks
 // counts block reads that were served by reconstruction rather than a
 // replica; DegradedBlocks/BlocksRead is the degraded-read share.
+// DegradedBytesFetched is the payload the client downloaded to serve
+// those reconstructions — the paper's bottleneck quantity. A
+// conventional degraded read pulls the whole repair plan (~k blocks);
+// a partial-sum one pulls a single folded block.
 type Counters struct {
-	Reads          int64 // whole-file reads completed
-	Writes         int64 // whole-file writes completed
-	BlocksRead     int64 // block reads completed (healthy + degraded)
-	DegradedBlocks int64 // block reads served via reconstruction
+	Reads                int64 // whole-file reads completed
+	Writes               int64 // whole-file writes completed
+	BlocksRead           int64 // block reads completed (healthy + degraded)
+	DegradedBlocks       int64 // block reads served via reconstruction
+	PartialSumBlocks     int64 // degraded reads served by the partial-sum pipeline
+	DegradedBytesFetched int64 // bytes received at this client for reconstructions
+}
+
+// ClientOption configures a Client at dial time.
+type ClientOption func(*Client)
+
+// WithPartialSumRepair makes the client's degraded reads use the
+// distributed partial-sum pipeline: instead of downloading every helper
+// range of the repair plan, the client ships the codec's linear repair
+// plan as a rack-aware fold tree to the helpers and downloads ONE
+// folded block-sized buffer from the root aggregator. Any failure along
+// the tree falls back to the conventional fan-in transparently.
+func WithPartialSumRepair() ClientOption {
+	return func(c *Client) { c.partialSum = true }
 }
 
 // Client talks to a serving cluster. It is safe for concurrent use;
@@ -87,31 +119,38 @@ type Counters struct {
 // Client per worker, since requests on one pooled connection
 // serialise.
 type Client struct {
-	code     ec.Code
-	nameAddr string
-	timeout  time.Duration
+	code       ec.Code
+	nameAddr   string
+	timeout    time.Duration
+	partialSum bool
 
-	mu    sync.Mutex
-	name  *conn
-	dns   map[string]*conn
-	addrs []string // machine id → datanode address ("" = down)
+	mu      sync.Mutex
+	name    *conn
+	dns     map[string]*conn
+	addrs   []string // machine id → datanode address ("" = down)
+	perRack int      // machines per rack, from the handshake
 
-	rr             atomic.Uint64 // replica rotation
-	reads          atomic.Int64
-	writes         atomic.Int64
-	blocksRead     atomic.Int64
-	degradedBlocks atomic.Int64
+	rr               atomic.Uint64 // replica rotation
+	reads            atomic.Int64
+	writes           atomic.Int64
+	blocksRead       atomic.Int64
+	degradedBlocks   atomic.Int64
+	partialSumBlocks atomic.Int64
+	degradedBytes    atomic.Int64
 }
 
 // Dial connects to the namenode and fetches the cluster handshake.
 // code must match the cluster's codec (the handshake enforces it by
 // name): the client decodes degraded reads locally.
-func Dial(nameAddr string, code ec.Code) (*Client, error) {
+func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) {
 	c := &Client{
 		code:     code,
 		nameAddr: nameAddr,
 		timeout:  defaultTimeout,
 		dns:      make(map[string]*conn),
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	resp, err := c.nameCall(&request{Method: methodInfo}, nil)
 	if err != nil {
@@ -122,6 +161,7 @@ func Dial(nameAddr string, code ec.Code) (*Client, error) {
 	}
 	c.mu.Lock()
 	c.addrs = resp.DataNodes
+	c.perRack = resp.MachinesPerRack
 	c.mu.Unlock()
 	return c, nil
 }
@@ -129,10 +169,12 @@ func Dial(nameAddr string, code ec.Code) (*Client, error) {
 // Counters returns the cumulative operation counts.
 func (c *Client) Counters() Counters {
 	return Counters{
-		Reads:          c.reads.Load(),
-		Writes:         c.writes.Load(),
-		BlocksRead:     c.blocksRead.Load(),
-		DegradedBlocks: c.degradedBlocks.Load(),
+		Reads:                c.reads.Load(),
+		Writes:               c.writes.Load(),
+		BlocksRead:           c.blocksRead.Load(),
+		DegradedBlocks:       c.degradedBlocks.Load(),
+		PartialSumBlocks:     c.partialSumBlocks.Load(),
+		DegradedBytesFetched: c.degradedBytes.Load(),
 	}
 }
 
@@ -208,12 +250,19 @@ func (c *Client) refreshAddrs() error {
 	}
 	c.mu.Lock()
 	c.addrs = resp.DataNodes
+	c.perRack = resp.MachinesPerRack
 	c.mu.Unlock()
 	return nil
 }
 
 // dnCall performs one RPC against the given machine's datanode.
 func (c *Client) dnCall(machine int, req *request) ([]byte, error) {
+	return c.dnCallTimeout(machine, req, c.timeout)
+}
+
+// dnCallTimeout is dnCall with an explicit deadline — partial-sum
+// calls scale theirs with the fold tree's size.
+func (c *Client) dnCallTimeout(machine int, req *request, timeout time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	var addr string
 	if machine >= 0 && machine < len(c.addrs) {
@@ -225,7 +274,7 @@ func (c *Client) dnCall(machine int, req *request) ([]byte, error) {
 		return nil, fmt.Errorf("serve: datanode %d has no address (down?)", machine)
 	}
 	if cn == nil {
-		fresh, err := dialConn(addr, c.timeout)
+		fresh, err := dialConn(addr, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +288,7 @@ func (c *Client) dnCall(machine int, req *request) ([]byte, error) {
 		}
 		c.mu.Unlock()
 	}
-	_, out, err := cn.call(req, nil, c.timeout)
+	_, out, err := cn.call(req, nil, timeout)
 	if err != nil {
 		if _, remote := err.(*RemoteError); !remote {
 			c.mu.Lock()
@@ -394,11 +443,12 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 }
 
 // degradedRead reconstructs one striped block: fetch the stripe layout,
-// execute the codec's repair plan with every helper range read over
-// the wire, and truncate the decoded shard to the block's logical
-// size. Phantom positions (short tail stripes) decode as zeros without
-// touching the network — exactly the access pattern the repair plans
-// charge for.
+// then either drive the partial-sum pipeline (one folded buffer from
+// the helper tree) or execute the codec's repair plan with every helper
+// range read over the wire, and truncate the decoded shard to the
+// block's logical size. Phantom positions (short tail stripes) decode
+// as zeros without touching the network — exactly the access pattern
+// the repair plans charge for.
 func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 	resp, err := c.nameCall(&request{Method: methodStripe, Stripe: b.Stripe}, nil)
 	if err != nil {
@@ -415,6 +465,14 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 		p := st.Positions[pos]
 		return p.Block < 0 || len(p.Locations) > 0
 	}
+	if c.partialSum {
+		if shard, err := c.partialDegradedRead(b, st, alive); err == nil {
+			c.partialSumBlocks.Add(1)
+			return shard[:b.Size], nil
+		}
+		// Any pipeline failure (helper died mid-fold, stale addresses,
+		// no linear plan) falls back to the conventional fan-in below.
+	}
 	fetch := func(req ec.ReadRequest) ([]byte, error) {
 		p := st.Positions[req.Shard]
 		if p.Block < 0 {
@@ -430,6 +488,7 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 			m := p.Locations[(start+i)%n]
 			buf, err := c.dnRead(m, p.Block, req.Offset, req.Length)
 			if err == nil {
+				c.degradedBytes.Add(req.Length)
 				return buf, nil
 			}
 			lastErr = err
@@ -441,4 +500,112 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 		return nil, err
 	}
 	return shard[:b.Size], nil
+}
+
+// partialDegradedRead reconstructs one striped block through the
+// distributed partial-sum pipeline: plan the repair as a linear
+// combination, map each helper shard to a live holder, build the
+// rack-aware fold tree, and download the single folded buffer from the
+// root aggregator. The reconstructing client's NIC carries one
+// block-sized payload instead of the plan's ~k.
+func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.AliveFunc) ([]byte, error) {
+	lp, ok := c.code.(ec.LinearRepairPlanner)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s has no linear repair plan", c.code.Name())
+	}
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	perRack := c.perRack
+	c.mu.Unlock()
+	if perRack <= 0 {
+		return nil, errors.New("serve: cluster handshake lacks rack geometry")
+	}
+	plan, err := lp.PlanLinearRepair(b.StripePos, st.ShardSize, alive)
+	if err != nil {
+		return nil, err
+	}
+	// Pin one live, addressable holder per stripe position up front so
+	// the tree planner sees a stable placement.
+	holder := make([]int, len(st.Positions))
+	for pos, p := range st.Positions {
+		holder[pos] = -1
+		if p.Block < 0 {
+			continue
+		}
+		n := len(p.Locations)
+		if n == 0 {
+			continue
+		}
+		start := int(c.rr.Add(1)) % n
+		for i := 0; i < n; i++ {
+			m := p.Locations[(start+i)%n]
+			if m >= 0 && m < len(addrs) && addrs[m] != "" {
+				holder[pos] = m
+				break
+			}
+		}
+	}
+	for _, t := range plan.Terms {
+		if p := st.Positions[t.Read.Shard]; p.Block >= 0 && holder[t.Read.Shard] < 0 {
+			return nil, fmt.Errorf("serve: stripe %d position %d has no addressable holder", st.ID, t.Read.Shard)
+		}
+	}
+	tree, err := engine.PlanAggregationTree(plan,
+		func(shard int) (int, bool) { return holder[shard], st.Positions[shard].Block >= 0 },
+		func(m int) int { return m / perRack },
+	)
+	if err != nil {
+		if errors.Is(err, engine.ErrNoHelpers) {
+			// Every term was a phantom zero shard: the fold is zero.
+			return make([]byte, st.ShardSize), nil
+		}
+		return nil, err
+	}
+	root, err := wireTree(tree.Root, st, addrs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.dnCallTimeout(tree.Root.Machine, &request{
+		Method:  methodDNPartial,
+		Length:  tree.TargetSize,
+		Partial: root,
+	}, partialTimeout(len(tree.Nodes())))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) != tree.TargetSize {
+		return nil, fmt.Errorf("serve: partial buffer has %d bytes, want %d", len(out), tree.TargetSize)
+	}
+	c.degradedBytes.Add(int64(len(out)))
+	return out, nil
+}
+
+// wireTree converts a planned aggregation tree into its wire form,
+// resolving stripe positions to block ids and machines to daemon
+// addresses.
+func wireTree(n *engine.AggNode, st *wireStripe, addrs []string) (*wirePartialNode, error) {
+	out := &wirePartialNode{Machine: n.Machine}
+	if n.Machine >= 0 && n.Machine < len(addrs) {
+		out.Addr = addrs[n.Machine]
+	}
+	if out.Addr == "" {
+		return nil, fmt.Errorf("serve: helper machine %d has no address", n.Machine)
+	}
+	for _, t := range n.Terms {
+		out.Terms = append(out.Terms, wirePartialTerm{
+			Block:     st.Positions[t.Shard].Block,
+			Offset:    t.Offset,
+			Length:    t.Length,
+			TargetOff: t.TargetOff,
+			Coeff:     t.Coeff,
+		})
+	}
+	for _, child := range n.Children {
+		wc, err := wireTree(child, st, addrs)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, *wc)
+	}
+	return out, nil
 }

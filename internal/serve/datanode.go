@@ -5,11 +5,23 @@
 // where they are. Repair-helper reads (the byte ranges a degraded read
 // or block fix downloads) arrive here as ordinary dn.read calls with a
 // sub-block offset and length.
+//
+// The one smart thing a datanode does is dn.partial: the helper-side
+// half of partial-sum repair. The request carries a fold tree; the
+// daemon reads its own term ranges, scales each by its GF(2^8)
+// coefficient into a target-sized buffer, recursively collects each
+// child subtree's folded buffer from the child's daemon (in parallel),
+// XORs everything together, and answers with the single folded buffer.
+// The requester — the next helper up the tree, or the reconstructing
+// client — receives one block-sized payload however many helpers fed
+// the subtree.
 package serve
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/gf256"
 	"repro/internal/hdfs"
 )
 
@@ -51,9 +63,102 @@ func (d *DataNode) handle(req *request, _ []byte) (*response, []byte) {
 			return errResponse(fmt.Errorf("serve: datanode %d down", d.machine)), nil
 		}
 		return okResponse(), nil
+	case methodDNPartial:
+		buf, err := d.partial(req)
+		if err != nil {
+			return errResponse(err), nil
+		}
+		return okResponse(), buf
 	default:
 		return errResponse(fmt.Errorf("serve: datanode: unknown method %q", req.Method)), nil
 	}
+}
+
+// maxTargetSize returns the largest legitimate fold-buffer size: the
+// cluster's block bound rounded up to the codec's shard alignment. A
+// hostile request declaring anything bigger is rejected before the
+// first allocation — without this, a kilobyte-sized frame could make
+// every node of a 256-node tree allocate and ship maxPayloadBytes.
+func (d *DataNode) maxTargetSize() int64 {
+	bs := d.cluster.BlockSize()
+	if align := int64(d.cluster.Code().MinShardSize()); align > 1 && bs%align != 0 {
+		bs += align - bs%align
+	}
+	return bs
+}
+
+// partial answers one dn.partial call: fold this node's terms and its
+// children's folded buffers into one target-sized partial sum.
+func (d *DataNode) partial(req *request) ([]byte, error) {
+	if err := validatePartial(req.Partial, req.Length); err != nil {
+		return nil, err
+	}
+	if max := d.maxTargetSize(); req.Length > max {
+		return nil, fmt.Errorf("serve: partial target size %d exceeds shard bound %d", req.Length, max)
+	}
+	if req.Partial.Machine != d.machine {
+		return nil, fmt.Errorf("serve: partial tree addressed to machine %d, this is %d", req.Partial.Machine, d.machine)
+	}
+	return d.fold(req.Partial, req.Length)
+}
+
+// fold computes one node's partial sum: local terms multiply-accumulate
+// out of this machine's block store; child subtrees are fetched from
+// their daemons concurrently and XORed in. The returned buffer is the
+// subtree's entire contribution to the repaired shard.
+func (d *DataNode) fold(n *wirePartialNode, targetSize int64) ([]byte, error) {
+	buf := make([]byte, targetSize)
+	for _, t := range n.Terms {
+		data, err := d.cluster.NodeReadRange(d.machine, hdfs.BlockID(t.Block), t.Offset, t.Length)
+		if err != nil {
+			return nil, err
+		}
+		gf256.MulSliceXor(t.Coeff, data, buf[t.TargetOff:t.TargetOff+t.Length])
+	}
+	if len(n.Children) == 0 {
+		return buf, nil
+	}
+	parts := make([][]byte, len(n.Children))
+	errs := make([]error, len(n.Children))
+	var wg sync.WaitGroup
+	for i := range n.Children {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = fetchChildPartial(&n.Children[i], targetSize)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: partial from machine %d: %w", n.Children[i].Machine, err)
+		}
+		gf256.XorSlice(parts[i], buf)
+	}
+	return buf, nil
+}
+
+// fetchChildPartial performs one child-subtree RPC over a fresh
+// connection. Partial-sum trees are per-repair, so there is no pooling
+// to reuse; a localhost dial is microseconds. The deadline covers the
+// child's ENTIRE subtree fold, so it scales with the subtree size
+// instead of being a flat per-hop bound — a deep rack chain must not
+// time out level by level while every node is healthy.
+func fetchChildPartial(child *wirePartialNode, targetSize int64) ([]byte, error) {
+	timeout := partialTimeout(child.countNodes(maxPartialNodes))
+	cn, err := dialConn(child.Addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cn.close()
+	_, out, err := cn.call(&request{Method: methodDNPartial, Length: targetSize, Partial: child}, nil, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) != targetSize {
+		return nil, fmt.Errorf("serve: partial buffer has %d bytes, want %d", len(out), targetSize)
+	}
+	return out, nil
 }
 
 // close severs the listener and every client connection.

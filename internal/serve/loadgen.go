@@ -53,6 +53,11 @@ type LoadConfig struct {
 	// set this far into the run (default Duration/3; negative
 	// disables).
 	KillAfter time.Duration
+	// PartialSumRepair makes every client serve degraded reads through
+	// the distributed partial-sum pipeline (one folded block from the
+	// helper tree) instead of the conventional helper fan-in, and
+	// enables the same pipeline in the cluster's BlockFixer.
+	PartialSumRepair bool
 	// Seed drives placement, content, and the operation mix.
 	Seed int64
 
@@ -119,6 +124,17 @@ type LoadResult struct {
 	DegradedBlocks int64   `json:"degraded_blocks"`
 	DegradedShare  float64 `json:"degraded_share"`
 
+	// PartialSumRepair records whether degraded reads ran through the
+	// partial-sum pipeline; PartialSumBlocks counts the degraded reads
+	// it actually served. DegradedBytesFetched is the payload clients
+	// downloaded for reconstructions; per-block it is ~1 block under
+	// partial-sum versus ~k conventionally — the paper's bottleneck
+	// quantity, measured at the reconstructing node.
+	PartialSumRepair      bool    `json:"partial_sum_repair"`
+	PartialSumBlocks      int64   `json:"partial_sum_blocks"`
+	DegradedBytesFetched  int64   `json:"degraded_bytes_fetched"`
+	DegradedBytesPerBlock float64 `json:"degraded_bytes_per_block"`
+
 	ReadP50Millis  float64 `json:"read_p50_ms"`
 	ReadP99Millis  float64 `json:"read_p99_ms"`
 	WriteP50Millis float64 `json:"write_p50_ms"`
@@ -149,16 +165,22 @@ func fileContent(seed int64, name string, size int64) []byte {
 func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults(code)
 	sys, err := Start(hdfs.Config{
-		Topology:    cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
-		Code:        code,
-		BlockSize:   cfg.BlockSize,
-		Replication: cfg.Replication,
-		Seed:        cfg.Seed,
+		Topology:         cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
+		Code:             code,
+		BlockSize:        cfg.BlockSize,
+		Replication:      cfg.Replication,
+		Seed:             cfg.Seed,
+		PartialSumRepair: cfg.PartialSumRepair,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer sys.Close()
+
+	var clientOpts []ClientOption
+	if cfg.PartialSumRepair {
+		clientOpts = append(clientOpts, WithPartialSumRepair())
+	}
 
 	// Preload and raid the working set.
 	setup, err := Dial(sys.NameAddr(), code)
@@ -223,7 +245,7 @@ func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			ws := &workers[w]
-			cl, err := Dial(sys.NameAddr(), code)
+			cl, err := Dial(sys.NameAddr(), code, clientOpts...)
 			if err != nil {
 				ws.errors++
 				return
@@ -272,11 +294,12 @@ func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	res := &LoadResult{
-		Codec:         code.Name(),
-		DurationSecs:  elapsed.Seconds(),
-		Clients:       cfg.Clients,
-		Killed:        killed.Load(),
-		KilledMachine: -1,
+		Codec:            code.Name(),
+		DurationSecs:     elapsed.Seconds(),
+		Clients:          cfg.Clients,
+		PartialSumRepair: cfg.PartialSumRepair,
+		Killed:           killed.Load(),
+		KilledMachine:    -1,
 	}
 	if res.Killed {
 		res.KillAfterSecs = cfg.KillAfter.Seconds()
@@ -294,9 +317,14 @@ func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
 		res.Writes += ws.counters.Writes
 		res.BlocksRead += ws.counters.BlocksRead
 		res.DegradedBlocks += ws.counters.DegradedBlocks
+		res.PartialSumBlocks += ws.counters.PartialSumBlocks
+		res.DegradedBytesFetched += ws.counters.DegradedBytesFetched
 	}
 	if res.BlocksRead > 0 {
 		res.DegradedShare = float64(res.DegradedBlocks) / float64(res.BlocksRead)
+	}
+	if res.DegradedBlocks > 0 {
+		res.DegradedBytesPerBlock = float64(res.DegradedBytesFetched) / float64(res.DegradedBlocks)
 	}
 	res.ReadP50Millis = stats.Percentile(readMs, 50)
 	res.ReadP99Millis = stats.Percentile(readMs, 99)
@@ -331,12 +359,12 @@ type BenchReport struct {
 	Codecs []LoadResult `json:"codecs"`
 }
 
-// RunBench runs the identical load against each codec in turn. Racks
-// default to the widest codec's stripe width + 2 so every codec sees
-// the same fabric.
-func RunBench(codecs []ec.Code, cfg LoadConfig) (*BenchReport, error) {
+// benchDefaults validates the codec lineup and normalises a shared
+// bench configuration: racks default to the widest codec's stripe
+// width + 2 so every codec sees the same fabric.
+func benchDefaults(codecs []ec.Code, cfg LoadConfig) (LoadConfig, error) {
 	if len(codecs) == 0 {
-		return nil, fmt.Errorf("serve: no codecs to bench")
+		return cfg, fmt.Errorf("serve: no codecs to bench")
 	}
 	width := 0
 	for _, c := range codecs {
@@ -347,7 +375,26 @@ func RunBench(codecs []ec.Code, cfg LoadConfig) (*BenchReport, error) {
 	if cfg.Racks == 0 {
 		cfg.Racks = width + 2
 	}
-	cfg = cfg.withDefaults(codecs[0])
+	return cfg.withDefaults(codecs[0]), nil
+}
+
+// writeJSON writes v, pretty-printed, to path.
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// RunBench runs the identical load against each codec in turn on one
+// shared configuration (see benchDefaults).
+func RunBench(codecs []ec.Code, cfg LoadConfig) (*BenchReport, error) {
+	cfg, err := benchDefaults(codecs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	report := &BenchReport{
 		Benchmark:       "serve-loadgen",
 		Seed:            cfg.Seed,
@@ -385,15 +432,120 @@ func (r *BenchReport) CheckErrors() error {
 	return nil
 }
 
-// WriteJSON writes the report, pretty-printed, to path.
-func (r *BenchReport) WriteJSON(path string) error {
-	blob, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	return os.WriteFile(path, blob, 0o644)
+// PartialSumComparison is one codec's conventional-versus-partial-sum
+// measurement on the identical workload.
+type PartialSumComparison struct {
+	Codec        string     `json:"codec"`
+	Conventional LoadResult `json:"conventional"`
+	PartialSum   LoadResult `json:"partial_sum"`
+
+	// BytesPerDegradedBlock compares what the reconstructing client's
+	// NIC received per degraded block: ~k blocks conventionally, ~1
+	// folded block under partial-sum. BytesReductionFraction is
+	// 1 - partial/conventional.
+	ConventionalBytesPerBlock float64 `json:"conventional_bytes_per_degraded_block"`
+	PartialBytesPerBlock      float64 `json:"partial_bytes_per_degraded_block"`
+	BytesReductionFraction    float64 `json:"bytes_reduction_fraction"`
 }
+
+// PartialSumBenchReport is the machine-readable BENCH_partialsum.json
+// payload: each codec serves the identical kill-mid-run workload twice,
+// once with conventional degraded reads and once through the
+// partial-sum pipeline.
+type PartialSumBenchReport struct {
+	Benchmark   string `json:"benchmark"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	Clients       int     `json:"clients"`
+	DurationSecs  float64 `json:"duration_secs"`
+	Files         int     `json:"files"`
+	FileBytes     int64   `json:"file_bytes"`
+	BlockBytes    int64   `json:"block_bytes"`
+	KillAfterSecs float64 `json:"kill_after_secs"`
+
+	Codecs []PartialSumComparison `json:"codecs"`
+}
+
+// RunPartialSumBench runs each codec's load twice — conventional
+// degraded reads, then partial-sum — on one shared configuration.
+func RunPartialSumBench(codecs []ec.Code, cfg LoadConfig) (*PartialSumBenchReport, error) {
+	cfg, err := benchDefaults(codecs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := &PartialSumBenchReport{
+		Benchmark:     "serve-partialsum",
+		Seed:          cfg.Seed,
+		Clients:       cfg.Clients,
+		DurationSecs:  cfg.Duration.Seconds(),
+		Files:         cfg.Files,
+		FileBytes:     cfg.FileBytes,
+		BlockBytes:    cfg.BlockSize,
+		KillAfterSecs: cfg.KillAfter.Seconds(),
+	}
+	for _, code := range codecs {
+		pair := PartialSumComparison{Codec: code.Name()}
+		for _, partial := range []bool{false, true} {
+			runCfg := cfg
+			runCfg.PartialSumRepair = partial
+			res, err := RunLoad(code, runCfg)
+			if err != nil {
+				return nil, fmt.Errorf("serve: load under %s (partial=%v): %w", code.Name(), partial, err)
+			}
+			if partial {
+				pair.PartialSum = *res
+			} else {
+				pair.Conventional = *res
+			}
+		}
+		pair.ConventionalBytesPerBlock = pair.Conventional.DegradedBytesPerBlock
+		pair.PartialBytesPerBlock = pair.PartialSum.DegradedBytesPerBlock
+		if pair.ConventionalBytesPerBlock > 0 {
+			pair.BytesReductionFraction = 1 - pair.PartialBytesPerBlock/pair.ConventionalBytesPerBlock
+		}
+		report.Codecs = append(report.Codecs, pair)
+	}
+	return report, nil
+}
+
+// CheckErrors applies the zero-client-visible-errors gate to both runs
+// of every codec.
+func (r *PartialSumBenchReport) CheckErrors() error {
+	for _, c := range r.Codecs {
+		for _, res := range []*LoadResult{&c.Conventional, &c.PartialSum} {
+			if res.Errors > 0 {
+				return fmt.Errorf("serve: %s (partial=%v): %d client-visible errors", c.Codec, res.PartialSumRepair, res.Errors)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report, pretty-printed, to path.
+func (r *PartialSumBenchReport) WriteJSON(path string) error { return writeJSON(path, r) }
+
+// FormatTable renders the per-codec comparison.
+func (r *PartialSumBenchReport) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-12s %10s %12s %10s\n",
+		"codec", "mode", "degraded", "bytes/block", "rd p99")
+	for _, c := range r.Codecs {
+		for _, res := range []*LoadResult{&c.Conventional, &c.PartialSum} {
+			mode := "fan-in"
+			if res.PartialSumRepair {
+				mode = "partial-sum"
+			}
+			fmt.Fprintf(&b, "%-22s %-12s %10d %12.0f %8.1fms\n",
+				c.Codec, mode, res.DegradedBlocks, res.DegradedBytesPerBlock, res.ReadP99Millis)
+		}
+		fmt.Fprintf(&b, "%-22s %-12s %10s %11.1f%%\n", "", "reduction", "", 100*c.BytesReductionFraction)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report, pretty-printed, to path.
+func (r *BenchReport) WriteJSON(path string) error { return writeJSON(path, r) }
 
 // FormatTable renders the report as the aligned table the commands
 // print.

@@ -55,6 +55,7 @@ func (n *NameNode) handle(req *request, payload []byte) (*response, []byte) {
 		resp.Codec = n.code.Name()
 		resp.BlockSize = n.bs
 		resp.DataNodes = n.ctl.dataNodeAddrs()
+		resp.MachinesPerRack = n.cluster.Topology().MachinesPerRack
 		return resp, nil
 
 	case methodStat:

@@ -61,9 +61,16 @@ const (
 
 // Datanode RPC method names.
 const (
-	methodDNRead = "dn.read"
-	methodDNPing = "dn.ping"
+	methodDNRead    = "dn.read"
+	methodDNPing    = "dn.ping"
+	methodDNPartial = "dn.partial"
 )
+
+// maxPartialNodes bounds the node count of one partial-sum tree: trees
+// are at most one node per stripe position, so anything larger is
+// corrupt or hostile. Keeps a recursive dn.partial from walking an
+// attacker-sized structure.
+const maxPartialNodes = 256
 
 // request is the header of one RPC call. One flat struct covers every
 // method; unused fields stay at their zero value and are omitted from
@@ -76,6 +83,84 @@ type request struct {
 	Length  int64  `json:"length,omitempty"`
 	Machine int    `json:"machine,omitempty"`
 	Stripe  int64  `json:"stripe,omitempty"`
+
+	// Partial is the dn.partial fold tree rooted at the addressed
+	// datanode; Length carries the target (folded buffer) size.
+	Partial *wirePartialNode `json:"partial,omitempty"`
+}
+
+// wirePartialTerm is one local multiply-accumulate of a partial-sum
+// fold: read [off, off+len) of the block, scale by the GF(2^8)
+// coefficient, XOR into the partial buffer at target_off.
+type wirePartialTerm struct {
+	Block     int64 `json:"block"`
+	Offset    int64 `json:"offset"`
+	Length    int64 `json:"length"`
+	TargetOff int64 `json:"target_off"`
+	Coeff     byte  `json:"coeff"`
+}
+
+// wirePartialNode is one helper of a partial-sum fold tree: the
+// datanode applies its terms locally, recursively collects each child's
+// folded buffer from the child's daemon at addr, XORs everything, and
+// returns one target-sized payload — so each tree edge carries exactly
+// one buffer instead of the node's raw reads.
+type wirePartialNode struct {
+	Machine  int               `json:"machine"`
+	Addr     string            `json:"addr,omitempty"` // filled for children; the addressed node ignores its own
+	Terms    []wirePartialTerm `json:"terms,omitempty"`
+	Children []wirePartialNode `json:"children,omitempty"`
+}
+
+// countNodes returns the tree's node count, capped at limit+1 so
+// hostile structures stop early.
+func (n *wirePartialNode) countNodes(limit int) int {
+	count := 1
+	for i := range n.Children {
+		if count > limit {
+			return count
+		}
+		count += n.Children[i].countNodes(limit - count)
+	}
+	return count
+}
+
+// validatePartial checks one partial-sum request's structural bounds
+// before any I/O: a sane target size, a bounded tree, and every term
+// folding inside the target.
+func validatePartial(root *wirePartialNode, targetSize int64) error {
+	if root == nil {
+		return errors.New("serve: partial request missing tree")
+	}
+	if targetSize <= 0 || targetSize > maxPayloadBytes {
+		return fmt.Errorf("serve: partial target size %d out of bounds", targetSize)
+	}
+	if n := root.countNodes(maxPartialNodes); n > maxPartialNodes {
+		return fmt.Errorf("serve: partial tree exceeds %d nodes", maxPartialNodes)
+	}
+	var walk func(n *wirePartialNode) error
+	walk = func(n *wirePartialNode) error {
+		for _, t := range n.Terms {
+			if t.Length <= 0 || t.Offset < 0 {
+				return fmt.Errorf("serve: partial term reads [%d, %d+%d)", t.Offset, t.Offset, t.Length)
+			}
+			// Overflow-safe: TargetOff+Length can wrap int64 on hostile
+			// input, so compare against targetSize-Length instead.
+			if t.Length > targetSize || t.TargetOff < 0 || t.TargetOff > targetSize-t.Length {
+				return fmt.Errorf("serve: partial term folds [%d, +%d) outside %d-byte target", t.TargetOff, t.Length, targetSize)
+			}
+		}
+		for i := range n.Children {
+			if n.Children[i].Addr == "" {
+				return errors.New("serve: partial child missing address")
+			}
+			if err := walk(&n.Children[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
 }
 
 // response is the header of one RPC reply.
@@ -83,14 +168,15 @@ type response struct {
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
 
-	Size      int64          `json:"size,omitempty"`
-	Raided    bool           `json:"raided,omitempty"`
-	Blocks    []wireBlock    `json:"blocks,omitempty"`
-	Stripe    *wireStripe    `json:"stripe,omitempty"`
-	Codec     string         `json:"codec,omitempty"`
-	BlockSize int64          `json:"block_size,omitempty"`
-	DataNodes []string       `json:"datanodes,omitempty"`
-	Fix       *wireFixReport `json:"fix,omitempty"`
+	Size            int64          `json:"size,omitempty"`
+	Raided          bool           `json:"raided,omitempty"`
+	Blocks          []wireBlock    `json:"blocks,omitempty"`
+	Stripe          *wireStripe    `json:"stripe,omitempty"`
+	Codec           string         `json:"codec,omitempty"`
+	BlockSize       int64          `json:"block_size,omitempty"`
+	DataNodes       []string       `json:"datanodes,omitempty"`
+	MachinesPerRack int            `json:"machines_per_rack,omitempty"`
+	Fix             *wireFixReport `json:"fix,omitempty"`
 }
 
 // wireBlock is one block's client-visible metadata.

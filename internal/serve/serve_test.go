@@ -6,8 +6,8 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -122,12 +122,18 @@ func TestDegradedReadAfterKill(t *testing.T) {
 				t.Fatalf("healthy post-raid read broken: %v", err)
 			}
 
-			// Readers hammer the file while the kill lands mid-run.
+			// Readers hammer the file while the kill lands mid-run. No
+			// wall clocks: each completed read signals progress, the
+			// kill lands once reads are demonstrably in flight, and the
+			// run ends after enough post-kill reads completed — however
+			// fast or slow the host is.
 			_, blocks, err := sys.Cluster().FileBlocks("f")
 			if err != nil {
 				t.Fatal(err)
 			}
 			victim := blocks[0].Locations[0]
+			var completed atomic.Int64
+			progress := make(chan struct{}, 1)
 			var wg sync.WaitGroup
 			errs := make(chan error, 64)
 			stop := make(chan struct{})
@@ -156,19 +162,46 @@ func TestDegradedReadAfterKill(t *testing.T) {
 							errs <- fmt.Errorf("reader %d: content mismatch", w)
 							return
 						}
+						completed.Add(1)
+						select {
+						case progress <- struct{}{}:
+						default:
+						}
 					}
 				}(w)
 			}
-			time.Sleep(30 * time.Millisecond)
-			if err := sys.KillDataNode(victim); err != nil {
-				t.Fatal(err)
+			// If every reader exits on error, the wait must fail fast
+			// with the collected errors instead of hanging on progress
+			// that will never come.
+			readersDone := make(chan struct{})
+			go func() { wg.Wait(); close(readersDone) }()
+			waitProgress := func() bool {
+				select {
+				case <-progress:
+					return true
+				case <-readersDone:
+					return false
+				}
 			}
-			time.Sleep(120 * time.Millisecond)
+			alive := waitProgress() // at least one whole-file read completed
+			if alive {
+				if err := sys.KillDataNode(victim); err != nil {
+					t.Fatal(err)
+				}
+				for target := completed.Load() + 8; alive && completed.Load() < target; {
+					alive = waitProgress() // post-kill reads complete degraded
+				}
+			}
 			close(stop)
-			wg.Wait()
+			<-readersDone
 			close(errs)
+			failed := false
 			for err := range errs {
+				failed = true
 				t.Errorf("read error during kill: %v", err)
+			}
+			if !alive && !failed {
+				t.Fatal("readers exited early without reporting errors")
 			}
 
 			// A fresh read after the kill must be byte-identical and

@@ -7,6 +7,7 @@ package serve
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"sync"
 )
@@ -80,7 +81,7 @@ func (s *server) serveConn(c net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, out := s.handle(&req, payload)
+		resp, out := s.safeHandle(&req, payload)
 		if err := writeFrame(bw, resp, out); err != nil {
 			return
 		}
@@ -88,6 +89,20 @@ func (s *server) serveConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// safeHandle runs the handler with a recover barrier: a panic on one
+// request (a validation gap, a hostile frame a guard missed) becomes a
+// remote error on that connection instead of taking down the whole
+// process — the namenode and every datanode daemon share it.
+func (s *server) safeHandle(req *request, payload []byte) (resp *response, out []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, out = errResponse(fmt.Errorf("serve: internal error handling %q: %v", req.Method, r)), nil
+		}
+	}()
+	resp, out = s.handle(req, payload)
+	return resp, out
 }
 
 // close stops the listener and severs every open connection. In-flight

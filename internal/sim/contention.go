@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/ec"
+	"repro/internal/engine"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -49,6 +50,13 @@ type ContentionConfig struct {
 	// DegradedReadsPerDay is the number of client degraded reads
 	// injected per day.
 	DegradedReadsPerDay int
+	// PartialSums models every repair as a partial-sum aggregation
+	// tree (rack-local folds, then a balanced cross-rack fold, one
+	// block-sized buffer per edge) instead of the conventional k-wide
+	// fan-in into the reconstructing node's NIC. Placement draws are
+	// identical either way, so a conventional/partial comparison sees
+	// the same stripes on the same machines.
+	PartialSums bool
 	// ForegroundWorkers is the closed-loop foreground client count; 0
 	// disables foreground load. See netsim.SaturatingForeground for a
 	// saturating setting.
@@ -131,6 +139,9 @@ func (c ContentionConfig) Validate(stripeWidth int) error {
 type ContentionResult struct {
 	CodeName string
 	Policy   string
+	// PartialSums records whether repairs ran as aggregation-tree
+	// pipelines rather than conventional fan-ins.
+	PartialSums bool
 	// DaysSimulated is the number of trace days replayed.
 	DaysSimulated int
 
@@ -205,8 +216,12 @@ func buildPlanSources(code ec.Code) ([][]sourceRead, error) {
 }
 
 // buildJob places the stripe on distinct racks and turns the plan's
-// per-source units into netsim transfers for a block of the given size.
-func buildJob(rng *rand.Rand, topo netsim.Topology, reads []sourceRead, stripeWidth int, blockBytes int64) netsim.Job {
+// per-source units into netsim transfers for a block of the given
+// size. With partialSums, the same placement draw instead becomes a
+// hop pipeline: the helpers' aggregation tree, every edge carrying one
+// folded block-sized buffer, the root delivering a single buffer to
+// the destination.
+func buildJob(rng *rand.Rand, topo netsim.Topology, reads []sourceRead, stripeWidth int, blockBytes int64, partialSums bool) netsim.Job {
 	racks := rng.Perm(topo.Racks)
 	machines := make([]int, stripeWidth)
 	for i := 0; i < stripeWidth; i++ {
@@ -214,11 +229,51 @@ func buildJob(rng *rand.Rand, topo netsim.Topology, reads []sourceRead, stripeWi
 	}
 	// The rebuilt block lands on a rack the stripe does not occupy.
 	dst := racks[stripeWidth]*topo.MachinesPerRack + rng.Intn(topo.MachinesPerRack)
+	if partialSums {
+		return netsim.Job{Dst: dst, Hops: partialHops(topo, reads, machines, dst, blockBytes)}
+	}
 	transfers := make([]netsim.Transfer, len(reads))
 	for i, r := range reads {
 		transfers[i] = netsim.Transfer{Src: machines[r.shard], Bytes: r.units * blockBytes / 2}
 	}
 	return netsim.Job{Dst: dst, Transfers: transfers}
+}
+
+// partialHops plans the repair's aggregation tree over the placed
+// helpers and flattens it into dependency-ordered netsim hops. Only
+// the shape matters to the fluid model, so the tree is planned from
+// unit-coefficient terms; every edge carries one folded buffer of the
+// full block size (partial-sum repair trades the k-fan-in bottleneck
+// for more, flatter edges — per-helper sub-block savings stay on the
+// disks, not the wire).
+func partialHops(topo netsim.Topology, reads []sourceRead, machines []int, dst int, blockBytes int64) []netsim.Hop {
+	plan := &ec.LinearPlan{Shard: -1, ShardSize: blockBytes}
+	for _, r := range reads {
+		plan.Terms = append(plan.Terms, ec.LinearTerm{
+			Read:  ec.ReadRequest{Shard: r.shard, Offset: 0, Length: blockBytes},
+			Coeff: 1,
+		})
+	}
+	tree, err := engine.PlanAggregationTree(plan,
+		func(shard int) (int, bool) { return machines[shard], true },
+		topo.RackOf,
+	)
+	if err != nil {
+		// Unreachable: every read has a placed machine.
+		panic(fmt.Sprintf("sim: partial tree: %v", err))
+	}
+	var hops []netsim.Hop
+	var walk func(n *engine.AggNode, parent int) int
+	walk = func(n *engine.AggNode, parent int) int {
+		var after []int
+		for _, c := range n.Children {
+			after = append(after, walk(c, n.Machine))
+		}
+		hops = append(hops, netsim.Hop{Src: n.Machine, Dst: parent, Bytes: blockBytes, After: after})
+		return len(hops) - 1
+	}
+	walk(tree.Root, dst)
+	return hops
 }
 
 // isolatedJobSeconds runs the identical job alone on an idle fabric —
@@ -303,7 +358,7 @@ func (s *ContentionStudy) Run(tr *workload.Trace) (*ContentionResult, error) {
 		spread := s.Config.WindowSeconds / 2 / float64(len(draws)+1)
 		id := 0
 		for i, d := range draws {
-			job := buildJob(rng, s.Config.Topology, srcs[d.StripePos], width, d.Bytes)
+			job := buildJob(rng, s.Config.Topology, srcs[d.StripePos], width, d.Bytes, s.Config.PartialSums)
 			job.ID = id
 			job.Submit = float64(i+1) * spread
 			id++
@@ -316,7 +371,7 @@ func (s *ContentionStudy) Run(tr *workload.Trace) (*ContentionResult, error) {
 			if len(draws) > 0 {
 				size = draws[j%len(draws)].Bytes
 			}
-			job := buildJob(rng, s.Config.Topology, srcs[rng.Intn(width)], width, size)
+			job := buildJob(rng, s.Config.Topology, srcs[rng.Intn(width)], width, size, s.Config.PartialSums)
 			job.ID = id
 			job.Degraded = true
 			job.Submit = (float64(j) + 0.5) * s.Config.WindowSeconds / 2 / float64(s.Config.DegradedReadsPerDay)
@@ -346,6 +401,7 @@ func (s *ContentionStudy) Run(tr *workload.Trace) (*ContentionResult, error) {
 	res := &ContentionResult{
 		CodeName:      s.Code.Name(),
 		Policy:        s.Config.Policy.String(),
+		PartialSums:   s.Config.PartialSums,
 		DaysSimulated: len(days),
 		Repairs:       len(repairTimes),
 		DegradedReads: len(degradedTimes),

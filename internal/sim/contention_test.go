@@ -172,3 +172,49 @@ func TestContentionPolicies(t *testing.T) {
 		t.Fatalf("priority-lane degraded p50 %.2fs worse than FIFO's %.2fs", pl.DegradedP50, fifo.DegradedP50)
 	}
 }
+
+// TestContentionPartialSumsRelieveRSBottleneck is the partial-sum
+// acceptance criterion: modelling RS repairs as aggregation-tree
+// pipelines (no link carries more than one folded block) must beat the
+// conventional k-wide fan-in on p99 repair latency under saturating
+// load, on the identical trace and placement stream. The saturating
+// default configuration is used (trimmed to two days): the win comes
+// from shorter service times draining the repair queue, so it needs
+// genuine queueing pressure to show. Determinism is asserted by
+// running the partial study twice.
+func TestContentionPartialSumsRelieveRSBottleneck(t *testing.T) {
+	rsc, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 4)
+	conv := DefaultContentionConfig()
+	conv.MaxDays = 2
+	part := conv
+	part.PartialSums = true
+
+	convRes, err := (&ContentionStudy{Code: rsc, Config: conv}).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partRes, err := (&ContentionStudy{Code: rsc, Config: part}).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if convRes.PartialSums || !partRes.PartialSums {
+		t.Fatalf("PartialSums flags not recorded: conv=%v part=%v", convRes.PartialSums, partRes.PartialSums)
+	}
+	if partRes.Repairs != convRes.Repairs {
+		t.Fatalf("repair counts differ: partial %d, conventional %d", partRes.Repairs, convRes.Repairs)
+	}
+	if partRes.RepairP99 >= convRes.RepairP99 {
+		t.Fatalf("partial-sum p99 %.2fs did not beat conventional %.2fs", partRes.RepairP99, convRes.RepairP99)
+	}
+	again, err := (&ContentionStudy{Code: rsc, Config: part}).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *partRes {
+		t.Fatalf("partial-sum study not deterministic:\n%+v\n%+v", again, partRes)
+	}
+}

@@ -71,6 +71,25 @@
 // p50/p99 latency, and the degraded-read share per codec;
 // cmd/loadgen and cmd/repaircost -serve write the results to
 // BENCH_serve.json.
+//
+// # Partial-sum repair
+//
+// Conventional repair concentrates the whole recovery download on the
+// reconstructing node's NIC — the paper's bottleneck. Because every
+// codec here is linear over GF(2^8), each repair is expressible as a
+// LinearPlan (helper range × coefficient → target offset), and the
+// arithmetic can migrate into the helpers: PlanAggregationTree builds
+// a rack-aware fold tree (intra-rack helpers fold at one local
+// aggregator before crossing the TOR; rack aggregators fold pairwise),
+// each helper multiply-accumulates its ranges, XORs in its children's
+// partial sums, and forwards ONE block-sized buffer. The serving layer
+// implements this as a dn.partial RPC (DialServe with
+// WithPartialSumRepair), the BlockFixer behind
+// HDFSConfig.PartialSumRepair, and the contention model behind
+// ContentionConfig.PartialSums; RunServePartialSumBench and
+// cmd/loadgen -partialbench write the conventional-versus-partial
+// comparison to BENCH_partialsum.json, and cmd/repaircost -contention
+// reports the corresponding p99 repair-latency relief.
 package repro
 
 import (
@@ -109,6 +128,27 @@ type FetchFunc = ec.FetchFunc
 
 // AliveFunc reports shard availability to the repair planner.
 type AliveFunc = ec.AliveFunc
+
+// LinearTerm is one multiply-accumulate input of a linear repair plan:
+// a helper range, its GF(2^8) coefficient, and where in the target the
+// product folds in.
+type LinearTerm = ec.LinearTerm
+
+// LinearPlan expresses a single-shard repair as a pure linear
+// combination of helper ranges — the algebraic form that lets repair
+// arithmetic migrate into the helpers (partial-sum repair).
+type LinearPlan = ec.LinearPlan
+
+// LinearRepairPlanner is implemented by codecs whose repairs are
+// expressible as linear plans. All three codecs here implement it.
+type LinearRepairPlanner = ec.LinearRepairPlanner
+
+// EvaluateLinearPlan computes the repaired shard from a linear plan by
+// fetching each distinct range once and folding every term — the
+// single-node reference the distributed pipeline is tested against.
+func EvaluateLinearPlan(plan *LinearPlan, fetch FetchFunc) ([]byte, error) {
+	return ec.EvaluateLinearPlan(plan, fetch)
+}
 
 // RS is the systematic Reed-Solomon codec (the deployed baseline).
 type RS = rs.Code
@@ -241,6 +281,26 @@ type FetchIntoFunc = engine.FetchIntoFunc
 
 // NewEngine builds a concurrent stripe-execution engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// --- Partial-sum aggregation trees -------------------------------------
+
+// AggregationNode is one helper of a partial-sum fold tree: local
+// multiply-accumulates plus child subtrees whose folded buffers it
+// XORs in.
+type AggregationNode = engine.AggNode
+
+// AggregationPlan is a planned partial-sum repair: a rack-aware fold
+// tree whose root produces the repaired shard.
+type AggregationPlan = engine.AggPlan
+
+// PlanAggregationTree turns a codec's linear repair plan plus a
+// placement (shard → machine, machine → rack) into the rack-aware fold
+// tree of partial-sum repair: intra-rack helpers chain into one local
+// aggregator (one buffer per TOR crossing), rack aggregators fold in a
+// balanced binary tree.
+func PlanAggregationTree(plan *LinearPlan, machineOf func(shard int) (machine int, ok bool), rackOf func(machine int) int) (*AggregationPlan, error) {
+	return engine.PlanAggregationTree(plan, machineOf, rackOf)
+}
 
 // --- Measurement study -----------------------------------------------
 
@@ -526,9 +586,22 @@ type ServeBenchReport = serve.BenchReport
 // listeners.
 func StartServeSystem(cfg HDFSConfig) (*ServeSystem, error) { return serve.Start(cfg) }
 
+// ServeClientOption configures a serving-layer client at dial time.
+type ServeClientOption = serve.ClientOption
+
+// WithPartialSumRepair makes a client's degraded reads run through the
+// distributed partial-sum pipeline: the codec's linear repair plan is
+// shipped to the helpers as a rack-aware fold tree and the client
+// downloads ONE folded block instead of ~k helper ranges. Failures
+// fall back to the conventional fan-in transparently.
+func WithPartialSumRepair() ServeClientOption { return serve.WithPartialSumRepair() }
+
 // DialServe connects a client to a serving cluster's namenode. code
-// must match the cluster's codec: degraded reads decode locally.
-func DialServe(nameAddr string, code Codec) (*ServeClient, error) { return serve.Dial(nameAddr, code) }
+// must match the cluster's codec: degraded reads decode locally (or,
+// with WithPartialSumRepair, in the helper tree).
+func DialServe(nameAddr string, code Codec, opts ...ServeClientOption) (*ServeClient, error) {
+	return serve.Dial(nameAddr, code, opts...)
+}
 
 // RunServeLoad starts a serving cluster for the codec, preloads and
 // raids a working set, and drives the closed-loop load (including the
@@ -539,6 +612,19 @@ func RunServeLoad(code Codec, cfg LoadConfig) (*LoadResult, error) { return serv
 // in turn on a shared configuration.
 func RunServeBench(codecs []Codec, cfg LoadConfig) (*ServeBenchReport, error) {
 	return serve.RunBench(codecs, cfg)
+}
+
+// ServePartialSumBenchReport is the machine-readable
+// BENCH_partialsum.json payload: per codec, the identical kill-mid-run
+// workload served conventionally and through the partial-sum pipeline,
+// with the bytes each degraded block pulled into the reconstructing
+// client.
+type ServePartialSumBenchReport = serve.PartialSumBenchReport
+
+// RunServePartialSumBench runs each codec's load twice — conventional
+// degraded reads, then partial-sum — on one shared configuration.
+func RunServePartialSumBench(codecs []Codec, cfg LoadConfig) (*ServePartialSumBenchReport, error) {
+	return serve.RunPartialSumBench(codecs, cfg)
 }
 
 // StandardCodecs returns the paper's codec lineup for (k, r): RS,

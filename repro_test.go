@@ -227,3 +227,87 @@ func TestMiniHDFSThroughPublicAPI(t *testing.T) {
 		t.Fatal("public API HDFS flow corrupted data")
 	}
 }
+
+// TestPartialSumThroughPublicAPI drives the partial-sum surface end to
+// end through the exported API alone: linear plans, the aggregation
+// tree, a live serving cluster with a partial-sum client, and the
+// partial-sum block fixer.
+func TestPartialSumThroughPublicAPI(t *testing.T) {
+	code, err := NewRS(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Linear plan + reference evaluation.
+	var lp LinearRepairPlanner = code
+	plan, err := lp.PlanLinearRepair(0, 8, AllAliveExcept(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Terms) == 0 {
+		t.Fatal("empty linear plan")
+	}
+
+	// Aggregation tree over a toy placement: shard i on machine i,
+	// machine i on rack i/2.
+	tree, err := PlanAggregationTree(plan,
+		func(shard int) (int, bool) { return shard, true },
+		func(m int) int { return m / 2 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root == nil || tree.TargetSize != 8 {
+		t.Fatalf("bad tree: %+v", tree)
+	}
+
+	// Live cluster: partial-sum client and fixer.
+	sys, err := StartServeSystem(HDFSConfig{
+		Topology:         Topology{Racks: 8, MachinesPerRack: 2},
+		Code:             code,
+		BlockSize:        2048,
+		Replication:      3,
+		Seed:             5,
+		PartialSumRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cl, err := DialServe(sys.NameAddr(), code, WithPartialSumRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	data := bytes.Repeat([]byte("partial"), 1200)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RaidFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := sys.Cluster().FileBlocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.KillDataNode(blocks[0].Locations[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("partial-sum degraded read not byte-identical")
+	}
+	if c := cl.Counters(); c.PartialSumBlocks == 0 {
+		t.Fatalf("no partial-sum blocks served: %+v", c)
+	}
+	rep, err := cl.RunBlockFixer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairedStriped == 0 {
+		t.Fatalf("fixer repaired nothing: %+v", rep)
+	}
+}
