@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke engine-bench contention-bench serve-bench partialsum-bench ci
+.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench ci
 
 build:
 	$(GO) build ./...
@@ -42,12 +42,13 @@ cover:
 # engine, the simulator (analytic and contention studies), the netsim
 # fabric, the mini-HDFS (RWMutex metadata + per-datanode locks under
 # concurrent readers/writers/fixer + partial-sum fold tasks), and the
-# TCP serving layer. The serving layer runs twice (-count=2): its tests
-# synchronize on read progress, not wall clocks, and repeating them
+# TCP serving layer. The serving layer and the repair control plane run
+# twice (-count=2): their tests synchronize on progress (fake clocks,
+# status polling), not wall-clock sleeps, and repeating them
 # back-to-back is the regression gate for that flakiness class.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/...
-	$(GO) test -race -count=2 ./internal/serve/...
+	$(GO) test -race -count=2 ./internal/serve/... ./internal/repairmgr/...
 
 # A few seconds of native Go fuzzing per codec: random data, random
 # erasure patterns up to each code's tolerance, decode must round-trip
@@ -64,9 +65,16 @@ bench:
 # One-iteration pass over every benchmark so bench code cannot rot,
 # plus a 2-second loadgen run on a tiny live TCP cluster so the serving
 # layer's end-to-end path (kill mid-run included) cannot rot either.
-benchsmoke:
+benchsmoke: repairmgr-smoke
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
+
+# Short live-cluster control-plane run: a datanode holding working-set
+# data is killed and the repair manager must bring the cluster back to
+# full health autonomously (the command exits non-zero if it does not,
+# or if a restart inside the grace window moves any repair bytes).
+repairmgr-smoke:
+	$(GO) run ./cmd/loadgen -repairmgr -codecs rs -k 4 -r 2 -clients 2 -duration 1500ms -files 3 -filesize 32768 -blocksize 8192 -out none
 
 # Regenerate BENCH_engine.json (batch repair throughput, serial vs
 # engine-parallel).
@@ -88,5 +96,11 @@ serve-bench:
 # client, ~k blocks vs ~1).
 partialsum-bench:
 	$(GO) run ./cmd/loadgen -partialbench
+
+# Regenerate BENCH_repairmgr.json (autonomous repair control plane:
+# time-to-full-health, grace-window savings, throttled vs unthrottled
+# foreground p99, 24-day trace replay).
+repairmgr-bench:
+	$(GO) run ./cmd/loadgen -repairmgr
 
 ci: build vet staticcheck fmtcheck test race benchsmoke fuzz-smoke

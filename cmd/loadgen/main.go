@@ -42,23 +42,84 @@ func main() {
 	kill := flag.Duration("kill", 0, "kill a working-set datanode this far into each run (0 = duration/3, negative = never)")
 	partialsum := flag.Bool("partialsum", false, "serve degraded reads through the partial-sum pipeline (one folded block from the helper tree)")
 	partialbench := flag.Bool("partialbench", false, "run each codec conventionally AND with partial-sum repair, comparing bytes at the reconstructing client (writes BENCH_partialsum.json)")
+	repairbench := flag.Bool("repairmgr", false, "benchmark the autonomous repair control plane: time-to-full-health after a kill, grace-window savings, foreground p99 under throttled vs unthrottled background repair, trace replay (writes BENCH_repairmgr.json)")
+	throttle := flag.Float64("throttle", 0, "repairmgr: background repair cap in bytes/sec (0 = harness default)")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
-	out := flag.String("out", "", `results file (default BENCH_serve.json, or BENCH_partialsum.json with -partialbench; "none" disables)`)
+	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; "none" disables)`)
 	flag.Parse()
 
+	if *repairbench && (*partialbench || *partialsum) {
+		fmt.Fprintln(os.Stderr, "loadgen: -repairmgr is mutually exclusive with -partialbench/-partialsum")
+		os.Exit(2)
+	}
 	outFile := *out
 	if outFile == "" {
-		if *partialbench {
+		switch {
+		case *partialbench:
 			outFile = "BENCH_partialsum.json"
-		} else {
+		case *repairbench:
+			outFile = "BENCH_repairmgr.json"
+		default:
 			outFile = "BENCH_serve.json"
 		}
 	}
-	if err := run(*k, *r, *codecNames, *clients, *duration, *files, *filesize, *blocksize,
-		*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *seed, outFile); err != nil {
+	var err error
+	if *repairbench {
+		err = runRepairMgrBench(*k, *r, *codecNames, *clients, *duration, *files, *filesize,
+			*blocksize, *racks, *machines, *throttle, *seed, outFile)
+	} else {
+		err = run(*k, *r, *codecNames, *clients, *duration, *files, *filesize, *blocksize,
+			*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *seed, outFile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runRepairMgrBench is the shared control-plane harness entry (also
+// reachable as repaircost -repairmgr): per codec, a live managed
+// cluster is killed and timed back to health, the grace window is
+// measured against an eager manager, closed-loop readers run over
+// throttled and unthrottled background repair, and the failure trace
+// replays through the manager's policies.
+func runRepairMgrBench(k, r int, codecNames string, clients int, duration time.Duration,
+	files int, filesize, blocksize int64, racks, machines int, throttle float64,
+	seed int64, outFile string) error {
+	codecs, err := buildCodecs(codecNames, k, r)
+	if err != nil {
+		return err
+	}
+	cfg := repro.RepairMgrBenchConfig{
+		Racks:               racks,
+		MachinesPerRack:     machines,
+		BlockSize:           blocksize,
+		Files:               files,
+		FileBytes:           filesize,
+		Clients:             clients,
+		LoadDuration:        duration,
+		ThrottleBytesPerSec: throttle,
+		Seed:                seed,
+	}
+	fmt.Printf("Repair control plane: %d clients, %v load per scenario, %d x %s working set\n\n",
+		clients, duration, files, byteCount(filesize))
+	rep, err := repro.RunRepairMgrBench(codecs, cfg)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(rep.FormatTable())
+	if err := rep.CheckHealth(); err != nil {
+		return err
+	}
+	fmt.Println("\nall codecs recovered autonomously; restart inside the grace window moved zero repair bytes")
+	if outFile != "" && outFile != "none" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outFile)
+	}
+	return nil
 }
 
 // buildCodecs filters repro.StandardCodecs — the one place the

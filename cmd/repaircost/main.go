@@ -24,6 +24,7 @@
 //	repaircost -engine [-parallelism N] [-stripes N] [-shard BYTES] [-out FILE]
 //	repaircost -contention [-days N] [-policy fifo|smallest-first|priority-lanes] [-seed N] [-out FILE]
 //	repaircost -serve [-clients N] [-duration D] [-seed N] [-out FILE]
+//	repaircost -repairmgr [-clients N] [-duration D] [-seed N] [-out FILE]
 package main
 
 import (
@@ -76,6 +77,9 @@ func main() {
 	clients := flag.Int("clients", 4, "closed-loop client workers")
 	duration := flag.Duration("duration", 3*time.Second, "measured run length per codec")
 
+	// -repairmgr mode.
+	repairMgrMode := flag.Bool("repairmgr", false, "benchmark the autonomous repair control plane (all codecs)")
+
 	modes := []mode{
 		{
 			name:      "repair-cost (default)",
@@ -115,6 +119,16 @@ func main() {
 				return serveBench(*k, *r, *clients, *duration, *seed, outFile)
 			},
 		},
+		{
+			name:       "repairmgr",
+			selector:   repairMgrMode,
+			synopsis:   "autonomous repair control plane: detection, grace window, throttled recovery",
+			flagNames:  []string{"clients", "duration"},
+			defaultOut: "BENCH_repairmgr.json",
+			run: func(outFile string) error {
+				return repairMgrBench(*k, *r, *clients, *duration, *seed, outFile)
+			},
+		},
 	}
 	flag.Usage = usageFunc(modes)
 	flag.Parse()
@@ -128,7 +142,7 @@ func main() {
 		}
 	}
 	if picked > 1 {
-		fmt.Fprintln(os.Stderr, "repaircost: modes are mutually exclusive (pick one of -engine, -contention, -serve)")
+		fmt.Fprintln(os.Stderr, "repaircost: modes are mutually exclusive (pick one of -engine, -contention, -serve, -repairmgr)")
 		os.Exit(2)
 	}
 

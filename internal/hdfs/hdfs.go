@@ -20,6 +20,7 @@ import (
 	"hash/crc32"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -278,6 +279,9 @@ type Cluster struct {
 	nextStripe StripeID
 	// now is the logical clock driving the raid policy.
 	now time.Duration
+	// scrubCursor is the next machine an incremental scrubber slice
+	// starts from (round-robin over machines).
+	scrubCursor int
 }
 
 // New builds an empty cluster.
@@ -901,20 +905,40 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 		report.ReReplicated++
 	}
 
-	// Stripe repairs run in three phases so many stripes decode
-	// concurrently through the engine. Planning (destination picks,
-	// which consume the cluster rng) stays serial in stripe order for
-	// determinism and holds the metadata lock; execution is a batch on
-	// the stripe-repair engine with the lock RELEASED — each fetch takes
-	// the read lock for its own duration, and the network fabric's byte
-	// accounting is thread-safe — so foreground reads interleave with
-	// the decodes; application (stores, onward shipping) retakes the
-	// lock and is serial again in stripe order.
-	//
-	// With PartialSumRepair set, single-block fixes of a linear-planning
-	// codec run as aggregation-tree folds instead of engine decodes; a
-	// pipeline that fails mid-fold (helper died) falls back to the
-	// conventional fan-in within its task.
+	simFn := c.repairStripes(lostByStripe, stripeOrder, report)
+	report.CrossRackBytes = c.net.CrossRackBytes() - before
+	c.mu.Unlock()
+	if simFn != nil {
+		if err := simFn(); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// repairStripes runs the stripe-repair pipeline for the given lost
+// blocks — the shared engine behind a full RunBlockFixer pass and a
+// targeted FixStripes call. It runs in three phases so many stripes
+// decode concurrently through the engine. Planning (destination picks,
+// which consume the cluster rng) stays serial in stripe order for
+// determinism and holds the metadata lock; execution is a batch on
+// the stripe-repair engine with the lock RELEASED — each fetch takes
+// the read lock for its own duration, and the network fabric's byte
+// accounting is thread-safe — so foreground reads interleave with
+// the decodes; application (stores, onward shipping) retakes the
+// lock and is serial again in stripe order.
+//
+// With PartialSumRepair set, single-block fixes of a linear-planning
+// codec run as aggregation-tree folds instead of engine decodes; a
+// pipeline that fails mid-fold (helper died) falls back to the
+// conventional fan-in within its task.
+//
+// Callers hold fixerMu and c.mu exclusively; repairStripes returns
+// with c.mu still held. The returned closure (nil unless a contention
+// fabric is configured and fixes were applied) must be run after c.mu
+// is released: it replays the recorded wire shape through the netsim
+// fabric and fills the report's Simulated* fields.
+func (c *Cluster) repairStripes(lostByStripe map[StripeID][]*blockMeta, stripeOrder []StripeID, report *FixReport) func() error {
 	fixes := make([]*stripeFix, 0, len(stripeOrder))
 	for _, sid := range stripeOrder {
 		lost := lostByStripe[sid]
@@ -983,13 +1007,104 @@ func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 		}
 		applied = append(applied, i)
 	}
+	if recordWire && len(applied) > 0 {
+		return func() error {
+			return c.simulateFixContention(fixes, outcomes, applied, report)
+		}
+	}
+	return nil
+}
+
+// FixStripes repairs exactly the given stripes — the repair manager's
+// targeted entry point, so a risk-prioritised queue can drain one
+// stripe at a time instead of sweeping the whole namespace the way
+// RunBlockFixer does. Lost blocks of each stripe run through the same
+// three-phase pipeline (and the same partial-sum and contention-fabric
+// behaviour) as a full fixer pass; stripes that turn out healthy are
+// scanned and skipped. Unknown stripe ids are an error. Calls are
+// serialised against full fixer passes by fixerMu.
+func (c *Cluster) FixStripes(ids []StripeID) (*FixReport, error) {
+	c.fixerMu.Lock()
+	defer c.fixerMu.Unlock()
+	c.mu.Lock()
+	report := &FixReport{}
+	before := c.net.CrossRackBytes()
+	lostByStripe := make(map[StripeID][]*blockMeta)
+	var stripeOrder []StripeID
+	seen := make(map[StripeID]bool, len(ids))
+	for _, sid := range ids {
+		if seen[sid] {
+			continue
+		}
+		seen[sid] = true
+		sm, ok := c.stripes[sid]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("hdfs: stripe %d not found", sid)
+		}
+		for _, bid := range sm.blocks {
+			if bid < 0 {
+				continue
+			}
+			bm := c.blocks[bid]
+			report.ScannedBlocks++
+			if len(c.liveLocations(bm)) > 0 {
+				continue
+			}
+			if _, lost := lostByStripe[sid]; !lost {
+				stripeOrder = append(stripeOrder, sid)
+			}
+			lostByStripe[sid] = append(lostByStripe[sid], bm)
+		}
+	}
+	simFn := c.repairStripes(lostByStripe, stripeOrder, report)
 	report.CrossRackBytes = c.net.CrossRackBytes() - before
 	c.mu.Unlock()
-	if recordWire && len(applied) > 0 {
-		if err := c.simulateFixContention(fixes, outcomes, applied, report); err != nil {
+	if simFn != nil {
+		if err := simFn(); err != nil {
 			return nil, err
 		}
 	}
+	return report, nil
+}
+
+// ReReplicateBlocks restores the replication target of exactly the
+// given un-striped blocks — the repair manager's targeted counterpart
+// to the fixer's re-replication sweep. Striped blocks are skipped
+// (repair them via FixStripes); blocks already at target are scanned
+// and skipped; blocks with no surviving replica are reported
+// unrecoverable. Unknown block ids are skipped, not an error: the
+// manager may hold a stale inventory of a machine whose blocks were
+// since deleted.
+func (c *Cluster) ReReplicateBlocks(ids []BlockID) (*FixReport, error) {
+	c.fixerMu.Lock()
+	defer c.fixerMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	report := &FixReport{}
+	before := c.net.CrossRackBytes()
+	for _, id := range ids {
+		bm, ok := c.blocks[id]
+		if !ok || bm.stripe != noStripe {
+			continue
+		}
+		report.ScannedBlocks++
+		live := c.liveLocations(bm)
+		target := c.cfg.Replication
+		if len(live) >= target {
+			continue
+		}
+		if len(live) == 0 {
+			report.Unrecoverable = append(report.Unrecoverable, id)
+			continue
+		}
+		if err := c.reReplicateLocked(bm, live, target); err != nil {
+			report.Unrecoverable = append(report.Unrecoverable, id)
+			continue
+		}
+		report.ReReplicated++
+	}
+	report.CrossRackBytes = c.net.CrossRackBytes() - before
 	return report, nil
 }
 
@@ -1516,6 +1631,153 @@ func (c *Cluster) MachineAlive(id int) bool {
 		return false
 	}
 	return c.nodes[id].isAlive()
+}
+
+// MachineInventory is what a machine's loss puts at risk: the stripes
+// with a block recorded on it and the un-striped replicated blocks
+// with a replica recorded on it. Both the node's store and the
+// recorded locations survive a machine FAILURE (that is the point:
+// the repair manager asks AFTER the failure detector declares the
+// machine dead); a DECOMMISSIONED machine is wiped and reports an
+// empty inventory — decommissioning is an explicit operator action
+// with its own repair sweep, not a detector event.
+type MachineInventory struct {
+	Stripes    []StripeID
+	Replicated []BlockID
+}
+
+// MachineInventory returns the machine's inventory, both lists sorted
+// ascending. Cost is O(blocks on the machine), not O(cluster blocks):
+// the node's own store is the candidate set (stores and recorded
+// locations are pruned together on every eviction path, so the store
+// can only over-approximate by stale data a repair relocated away —
+// filtered by the recorded-locations check).
+func (c *Cluster) MachineInventory(m int) MachineInventory {
+	if m < 0 || m >= len(c.nodes) {
+		return MachineInventory{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	node := c.nodes[m]
+	node.mu.Lock()
+	ids := make([]BlockID, 0, len(node.blocks))
+	for id := range node.blocks {
+		ids = append(ids, id)
+	}
+	node.mu.Unlock()
+	var inv MachineInventory
+	seen := make(map[StripeID]bool)
+	for _, id := range ids {
+		bm, ok := c.blocks[id]
+		if !ok || !containsInt(bm.locations, m) {
+			continue
+		}
+		if bm.stripe != noStripe {
+			if !seen[bm.stripe] {
+				seen[bm.stripe] = true
+				inv.Stripes = append(inv.Stripes, bm.stripe)
+			}
+			continue
+		}
+		inv.Replicated = append(inv.Replicated, bm.id)
+	}
+	sort.Slice(inv.Stripes, func(i, j int) bool { return inv.Stripes[i] < inv.Stripes[j] })
+	sortBlockIDs(inv.Replicated)
+	return inv
+}
+
+// BlockInfoByID returns one block's client-visible snapshot by id —
+// the repair manager's health registry resolves scrub-affected blocks
+// through it. The boolean reports whether the block exists.
+func (c *Cluster) BlockInfoByID(id BlockID) (BlockInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bm, ok := c.blocks[id]
+	if !ok {
+		return BlockInfo{}, false
+	}
+	return BlockInfo{
+		ID:        bm.id,
+		Size:      bm.size,
+		Stripe:    bm.stripe,
+		StripePos: bm.stripePos,
+		Locations: append([]int(nil), c.liveLocations(bm)...),
+	}, true
+}
+
+// Replication returns the configured replica target for un-striped
+// files.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// StripeErasures counts the stripe's real positions with no live
+// replica — the quantity the repair manager's health registry tracks
+// against the codec's tolerance.
+func (c *Cluster) StripeErasures(id StripeID) (int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sm, ok := c.stripes[id]
+	if !ok {
+		return 0, fmt.Errorf("hdfs: stripe %d not found", id)
+	}
+	erasures := 0
+	for _, bid := range sm.blocks {
+		if bid < 0 {
+			continue
+		}
+		if len(c.liveLocations(c.blocks[bid])) == 0 {
+			erasures++
+		}
+	}
+	return erasures, nil
+}
+
+// HealthSummary is a point-in-time availability inventory — the
+// quantity "time to full health" is measured against.
+type HealthSummary struct {
+	// Blocks counts block records examined.
+	Blocks int
+	// MissingStriped counts striped blocks with no live replica, and
+	// DegradedStripes the stripes containing at least one of them.
+	MissingStriped  int
+	DegradedStripes int
+	// UnderReplicated counts un-striped blocks below the replication
+	// target with at least one live replica; LostReplicated those with
+	// none (unrecoverable without a stripe).
+	UnderReplicated int
+	LostReplicated  int
+}
+
+// Healthy reports full health: every striped block has a live replica
+// and every replicated block sits at its target replication.
+func (h HealthSummary) Healthy() bool {
+	return h.MissingStriped == 0 && h.UnderReplicated == 0 && h.LostReplicated == 0
+}
+
+// Health computes the availability summary.
+func (c *Cluster) Health() HealthSummary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var h HealthSummary
+	degraded := make(map[StripeID]bool)
+	for _, bm := range c.blocks {
+		h.Blocks++
+		live := len(c.liveLocations(bm))
+		if bm.stripe != noStripe {
+			if live == 0 {
+				h.MissingStriped++
+				degraded[bm.stripe] = true
+			}
+			continue
+		}
+		switch {
+		case live == 0:
+			h.LostReplicated++
+		case live < c.cfg.Replication:
+			h.UnderReplicated++
+		}
+	}
+	h.DegradedStripes = len(degraded)
+	return h
 }
 
 // NodeReadRange serves a range read of one replica directly from one

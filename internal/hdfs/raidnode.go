@@ -10,6 +10,7 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -110,6 +111,15 @@ type ScrubReport struct {
 	CorruptReplicas int
 	// AffectedBlocks lists blocks that lost at least one replica.
 	AffectedBlocks []BlockID
+	// Resumed reports that an incremental pass continued from a
+	// mid-cycle cursor rather than starting at machine 0. Always false
+	// for a full RunScrubber pass.
+	Resumed bool
+	// MachinesScanned counts the machines an incremental slice covered
+	// (zero for a full block-major RunScrubber pass); NextMachine is
+	// where the next slice resumes.
+	MachinesScanned int
+	NextMachine     int
 }
 
 // RunScrubber recomputes every live replica's checksum against the
@@ -156,6 +166,81 @@ func (c *Cluster) RunScrubber() (*ScrubReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// RunScrubberSlice is the incremental scrubber: it verifies every
+// replica on the NEXT machines (round-robin cursor over the cluster,
+// wrapping), so a repair manager can schedule small scrub slices on a
+// timer instead of stalling a control-loop tick on a full-cluster
+// sweep. A slice of Machines() machines is one full cycle. Corrupt
+// replicas are evicted exactly as RunScrubber evicts them; dead
+// machines are skipped (their replicas are unreadable, and the failure
+// detector owns that case). The report's Resumed field distinguishes a
+// mid-cycle slice from one that started a fresh cycle at machine 0.
+func (c *Cluster) RunScrubberSlice(machines int) (*ScrubReport, error) {
+	if machines < 1 {
+		return nil, errors.New("hdfs: scrub slice must cover at least one machine")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if machines > len(c.nodes) {
+		machines = len(c.nodes)
+	}
+	report := &ScrubReport{Resumed: c.scrubCursor != 0}
+	affected := make(map[BlockID]bool)
+	for i := 0; i < machines; i++ {
+		m := (c.scrubCursor + i) % len(c.nodes)
+		c.scrubMachineLocked(m, report, affected)
+		report.MachinesScanned++
+	}
+	c.scrubCursor = (c.scrubCursor + machines) % len(c.nodes)
+	report.NextMachine = c.scrubCursor
+	sortBlockIDs(report.AffectedBlocks)
+	return report, nil
+}
+
+// scrubMachineLocked checksums every replica held by one live machine,
+// evicting corrupt ones. affected dedups blocks across the machines of
+// one slice.
+func (c *Cluster) scrubMachineLocked(m int, report *ScrubReport, affected map[BlockID]bool) {
+	node := c.nodes[m]
+	if !node.isAlive() {
+		return
+	}
+	node.mu.Lock()
+	ids := make([]BlockID, 0, len(node.blocks))
+	for id := range node.blocks {
+		ids = append(ids, id)
+	}
+	node.mu.Unlock()
+	sortBlockIDs(ids)
+	for _, id := range ids {
+		bm, ok := c.blocks[id]
+		if !ok {
+			continue
+		}
+		buf, err := node.readRange(id, 0, bm.size)
+		if err != nil {
+			continue // machine died mid-slice; the detector owns it
+		}
+		report.ScannedReplicas++
+		if crc32.ChecksumIEEE(buf) == bm.checksum {
+			continue
+		}
+		node.delete(id)
+		clean := bm.locations[:0]
+		for _, loc := range bm.locations {
+			if loc != m {
+				clean = append(clean, loc)
+			}
+		}
+		bm.locations = clean
+		report.CorruptReplicas++
+		if !affected[id] {
+			affected[id] = true
+			report.AffectedBlocks = append(report.AffectedBlocks, id)
+		}
+	}
 }
 
 // InjectBitRot flips one byte of the replica of block id stored on the

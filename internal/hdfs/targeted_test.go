@@ -1,0 +1,276 @@
+package hdfs
+
+import (
+	"testing"
+)
+
+// raidedFile writes size bytes under name and raids it, returning the
+// content for later verification.
+func raidedFile(t *testing.T, c *Cluster, name string, size int) []byte {
+	t.Helper()
+	data := randBytes(int64(len(name))+int64(size), size)
+	if err := c.WriteFile(name, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RaidFile(name); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFixStripesTargeted: FixStripes repairs exactly the named stripe
+// and leaves other degraded stripes alone — the property the repair
+// manager's priority queue depends on.
+func TestFixStripesTargeted(t *testing.T) {
+	c := testCluster(t, rsCode(t), 11)
+	dataA := raidedFile(t, c, "a", 4096)
+	dataB := raidedFile(t, c, "b", 4096)
+
+	sidA, _, err := c.StripeOf("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidB, _, err := c.StripeOf("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locsA, err := c.BlockLocations("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locsB, err := c.BlockLocations("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FailMachine(locsA[0][0])
+	c.FailMachine(locsB[0][0])
+	erasuresA, err := c.StripeErasures(sidA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erasuresB, err := c.StripeErasures(sidB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erasuresA == 0 || erasuresB == 0 {
+		t.Fatalf("stripes not degraded by the kills: A=%d B=%d", erasuresA, erasuresB)
+	}
+
+	rep, err := c.FixStripes([]StripeID{sidA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairedStriped != erasuresA || len(rep.Unrecoverable) != 0 {
+		t.Fatalf("targeted fix report %+v, want %d repaired", rep, erasuresA)
+	}
+	if rep.CrossRackBytes == 0 {
+		t.Fatal("targeted repair moved no bytes")
+	}
+	if e, _ := c.StripeErasures(sidA); e != 0 {
+		t.Fatalf("stripe %d still has %d erasures after targeted fix", sidA, e)
+	}
+	if e, _ := c.StripeErasures(sidB); e != erasuresB {
+		t.Fatalf("untargeted stripe %d went from %d to %d erasures", sidB, erasuresB, e)
+	}
+	got, err := c.ReadFile("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(dataA) {
+		t.Fatal("repaired file not byte-identical")
+	}
+	// Repairing the second stripe restores full health.
+	if _, err := c.FixStripes([]StripeID{sidB}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.ReadFile("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(dataB) {
+		t.Fatal("second repaired file not byte-identical")
+	}
+	if h := c.Health(); !h.Healthy() {
+		t.Fatalf("cluster not healthy after targeted fixes: %+v", h)
+	}
+}
+
+// TestFixStripesIdempotentAndValidated: healthy stripes are scanned
+// but not repaired; unknown stripe ids are an error.
+func TestFixStripesIdempotentAndValidated(t *testing.T) {
+	c := testCluster(t, rsCode(t), 12)
+	raidedFile(t, c, "a", 4096)
+	sid, _, err := c.StripeOf("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.FixStripes([]StripeID{sid, sid}) // duplicate ids collapse
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairedStriped != 0 || rep.CrossRackBytes != 0 {
+		t.Fatalf("healthy stripe fix report %+v", rep)
+	}
+	if rep.ScannedBlocks != 6 { // (4,2) stripe width
+		t.Fatalf("scanned %d blocks, want 6", rep.ScannedBlocks)
+	}
+	if _, err := c.FixStripes([]StripeID{999}); err == nil {
+		t.Fatal("unknown stripe id accepted")
+	}
+}
+
+// TestReReplicateBlocksTargeted: only the named replicated blocks are
+// topped up; striped and unknown ids are skipped.
+func TestReReplicateBlocksTargeted(t *testing.T) {
+	c := testCluster(t, rsCode(t), 13)
+	if err := c.WriteFile("r", randBytes(5, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	raidedFile(t, c, "s", 4096)
+	locs, err := c.BlockLocations("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FailMachine(locs[0][0])
+
+	_, blocks, err := c.FileBlocks("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, striped, err := c.FileBlocks("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []BlockID
+	for _, b := range blocks {
+		ids = append(ids, b.ID)
+	}
+	ids = append(ids, striped[0].ID) // striped: skipped (FixStripes territory)
+	ids = append(ids, 9999)          // unknown: skipped, not an error
+	rep, err := c.ReReplicateBlocks(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReReplicated == 0 || len(rep.Unrecoverable) != 0 {
+		t.Fatalf("re-replication report %+v", rep)
+	}
+	if h := c.Health(); h.UnderReplicated != 0 {
+		t.Fatalf("still under-replicated after targeted pass: %+v", h)
+	}
+}
+
+// TestMachineInventoryAndHealth: the inventory names exactly the
+// stripes and replicated blocks a machine's death affects, and the
+// health summary tracks the resulting degradation.
+func TestMachineInventoryAndHealth(t *testing.T) {
+	c := testCluster(t, rsCode(t), 14)
+	raidedFile(t, c, "a", 4096)
+	if err := c.WriteFile("r", randBytes(7, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(); !h.Healthy() {
+		t.Fatalf("fresh cluster unhealthy: %+v", h)
+	}
+
+	sid, _, err := c.StripeOf("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locsA, err := c.BlockLocations("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := locsA[0][0]
+	inv := c.MachineInventory(victim)
+	found := false
+	for _, s := range inv.Stripes {
+		if s == sid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inventory of machine %d misses stripe %d: %+v", victim, sid, inv)
+	}
+
+	c.FailMachine(victim)
+	h := c.Health()
+	if h.MissingStriped == 0 || h.DegradedStripes == 0 {
+		t.Fatalf("health after striped-holder kill: %+v", h)
+	}
+	// Inventory is location-recorded, so it answers AFTER the death too.
+	if len(c.MachineInventory(victim).Stripes) == 0 {
+		t.Fatal("inventory empty after machine death")
+	}
+
+	locsR, err := c.BlockLocations("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FailMachine(locsR[0][0])
+	if h := c.Health(); h.UnderReplicated != 1 {
+		t.Fatalf("health after replica kill: %+v", h)
+	}
+}
+
+// TestScrubberSliceRoundRobin: slices walk the machines round-robin,
+// report Resumed mid-cycle, and a full cycle of slices finds exactly
+// what one full pass finds.
+func TestScrubberSliceRoundRobin(t *testing.T) {
+	c := testCluster(t, rsCode(t), 15)
+	raidedFile(t, c, "a", 4096)
+
+	first, err := c.RunScrubberSlice(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Resumed {
+		t.Fatal("first slice of a cycle reported Resumed")
+	}
+	if first.MachinesScanned != 1 || first.NextMachine != 1 {
+		t.Fatalf("first slice report %+v", first)
+	}
+	second, err := c.RunScrubberSlice(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Resumed || second.NextMachine != 3 {
+		t.Fatalf("second slice report %+v", second)
+	}
+
+	// Corrupt one replica, then scrub the remaining machines of the
+	// cycle in slices: the corruption is found exactly once.
+	locs, err := c.BlockLocations("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := c.FileBlocks("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := locs[0][0]
+	if err := c.InjectBitRot(victim, blocks[0].ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt int
+	for scanned := 3; scanned < c.Machines(); {
+		rep, err := c.RunScrubberSlice(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt += rep.CorruptReplicas
+		scanned += rep.MachinesScanned
+	}
+	// The cycle may have wrapped past machines 0-2 (already scanned
+	// clean before the corruption landed); if the victim lives there
+	// the wrap-around slice found it.
+	if corrupt != 1 {
+		t.Fatalf("cycle found %d corrupt replicas, want 1", corrupt)
+	}
+	if h := c.Health(); h.MissingStriped != 1 {
+		t.Fatalf("health after scrub eviction: %+v", h)
+	}
+
+	if _, err := c.RunScrubberSlice(0); err == nil {
+		t.Fatal("zero-machine slice accepted")
+	}
+}

@@ -1,0 +1,640 @@
+// The autonomous repair manager: a control loop a serving namenode
+// runs so recovery needs no manual triggers. Heartbeats feed the
+// failure detector; detector transitions drive the health registry;
+// the registry's degradations become risk-tiered queue entries; and a
+// token-bucket throttle paces how fast the queue drains into the
+// cluster's targeted repair paths (FixStripes, ReReplicateBlocks —
+// which inherit the engine's concurrency and, when configured, the
+// partial-sum aggregation trees, so throttled repairs still fold
+// rack-locally).
+//
+// Every timestamp flows through the injectable clock, and Poll — one
+// full control-loop iteration — is exported, so tests and simulations
+// drive exact timelines with no wall-clock sleeps.
+package repairmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hdfs"
+	"repro/internal/reliability"
+)
+
+// Config parameterises a Manager. A zero SuspectAfter, PollInterval,
+// ScrubSliceMachines, CompletedLog, or Clock selects the DefaultConfig
+// value. GraceWindow, RepairBytesPerSec, AgingTier, and ScrubInterval
+// are NOT defaulted — for each of them zero is a meaningful setting
+// (eager repair, unthrottled, no aging, no scrubbing) — so start from
+// DefaultConfig() and override to get the recommended windows.
+type Config struct {
+	// SuspectAfter and GraceWindow are the failure detector's timeouts
+	// (see DetectorConfig). GraceWindow is the delayed-repair window:
+	// kill-then-restart inside it produces zero repair traffic; ZERO
+	// declares death (and starts repair) at the suspect deadline.
+	SuspectAfter time.Duration
+	GraceWindow  time.Duration
+	// PollInterval is the live control loop's tick.
+	PollInterval time.Duration
+	// RepairBytesPerSec caps sustained cross-rack repair traffic
+	// (token bucket); 0 leaves repair unthrottled. RepairBurstBytes is
+	// the bucket capacity (default: one second of rate).
+	RepairBytesPerSec float64
+	RepairBurstBytes  float64
+	// AgingTier is the queue time that promotes a waiting repair one
+	// erasure tier (starvation aging); 0 disables aging.
+	AgingTier time.Duration
+	// ScrubInterval schedules incremental scrub slices through the
+	// control loop; 0 disables background scrubbing.
+	// ScrubSliceMachines is the slice width (default 1).
+	ScrubInterval      time.Duration
+	ScrubSliceMachines int
+	// CompletedLog caps the completion log the status RPC exposes.
+	CompletedLog int
+	// Clock injects time; nil selects time.Now. Tests pass a fake.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns production-flavoured settings: a 3s suspect
+// timeout, a 15s grace window (transient restarts are free), a 500ms
+// control tick, unthrottled repair, 10-minute aging tiers, no
+// background scrubbing.
+func DefaultConfig() Config {
+	return Config{
+		SuspectAfter: 3 * time.Second,
+		GraceWindow:  15 * time.Second,
+		PollInterval: 500 * time.Millisecond,
+		AgingTier:    10 * time.Minute,
+		CompletedLog: 256,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = def.SuspectAfter
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = def.PollInterval
+	}
+	if c.CompletedLog == 0 {
+		c.CompletedLog = def.CompletedLog
+	}
+	if c.ScrubSliceMachines == 0 {
+		c.ScrubSliceMachines = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// CompletedRepair is one finished queue entry, in completion order.
+type CompletedRepair struct {
+	Seq      int
+	Kind     TaskKind
+	Stripe   hdfs.StripeID
+	Block    hdfs.BlockID
+	Erasures int
+	// Bytes is the cross-rack traffic the repair actually moved;
+	// WaitSeconds how long the entry queued.
+	Bytes       int64
+	WaitSeconds float64
+	// Unrecoverable reports the repair failed permanently.
+	Unrecoverable bool
+}
+
+// Status is the control plane's externally visible state — what the
+// serve layer's status RPC returns.
+type Status struct {
+	Nodes []NodeStatus
+	// QueueDepth and QueueByErasures describe pending repairs.
+	QueueDepth      int
+	QueueByErasures map[int]int
+	Paused          bool
+	// DegradedStripes / DegradedBlocks are the health registry's view.
+	DegradedStripes int
+	DegradedBlocks  int
+	// RepairsDone counts completed queue entries; RepairedBytes their
+	// cross-rack traffic; Unrecoverable permanently failed entries.
+	RepairsDone   int
+	RepairedBytes int64
+	Unrecoverable int
+	// AvoidedRepairs / AvoidedRepairBytes count suspect→alive grace
+	// saves: repairs that never ran because the node returned inside
+	// the window (bytes are the at-suspect estimate).
+	AvoidedRepairs     int
+	AvoidedRepairBytes int64
+	// LostBlocks counts un-striped blocks that lost every replica —
+	// nothing to re-replicate from.
+	LostBlocks int
+	// ScrubSlices / ScrubbedReplicas / ScrubCorrupt summarise
+	// background scrubbing.
+	ScrubSlices      int
+	ScrubbedReplicas int
+	ScrubCorrupt     int
+	// ThrottleBytesPerSec echoes the configured cap (0 = unlimited).
+	ThrottleBytesPerSec float64
+	// Completed is the completion log, oldest first, capped at
+	// Config.CompletedLog.
+	Completed []CompletedRepair
+}
+
+// Manager is the autonomous repair control plane over one cluster.
+type Manager struct {
+	cfg     Config
+	cluster *hdfs.Cluster
+	det     *Detector
+	reg     *Registry
+	queue   *Queue
+	bucket  *TokenBucket
+
+	width, tolerance int // codec geometry
+	dataShards       int
+
+	// pollMu serialises whole Poll iterations: the Start ticker loop
+	// and direct Poll callers (tests, benches) may overlap, and the
+	// drain's peek-check-pop sequence must not interleave.
+	pollMu sync.Mutex
+
+	mu       sync.Mutex
+	pending  []Transition // heartbeat-produced transitions awaiting Poll
+	suspects map[int]suspectEstimate
+	paused   bool
+
+	repairsDone   int
+	repairedBytes int64
+	unrecoverable int
+	avoided       int
+	avoidedBytes  int64
+	lostBlocks    int
+	scrubSlices   int
+	scrubScanned  int
+	scrubCorrupt  int
+	nextScrub     time.Time
+	completed     []CompletedRepair
+	completedSeq  int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// suspectEstimate is what a suspect node's death would cost — credited
+// to the avoided counters if it returns inside the grace window.
+type suspectEstimate struct {
+	repairs int
+	bytes   int64
+}
+
+// New builds a manager over the cluster. It does not start the control
+// loop; call Start, or drive Poll directly.
+func New(cluster *hdfs.Cluster, cfg Config) (*Manager, error) {
+	if cluster == nil {
+		return nil, errors.New("repairmgr: cluster is required")
+	}
+	cfg = cfg.withDefaults()
+	dcfg := DetectorConfig{SuspectAfter: cfg.SuspectAfter, GraceWindow: cfg.GraceWindow}
+	now := cfg.Clock()
+	det, err := NewDetector(cluster.Machines(), dcfg, now)
+	if err != nil {
+		return nil, err
+	}
+	code := cluster.Code()
+	m := &Manager{
+		cfg:        cfg,
+		cluster:    cluster,
+		det:        det,
+		reg:        NewRegistry(cluster),
+		queue:      NewQueue(QueueConfig{AgingTier: cfg.AgingTier}),
+		bucket:     NewTokenBucket(cfg.RepairBytesPerSec, cfg.RepairBurstBytes, now),
+		width:      code.TotalShards(),
+		tolerance:  code.ParityShards(),
+		dataShards: code.DataShards(),
+		suspects:   make(map[int]suspectEstimate),
+	}
+	if cfg.ScrubInterval > 0 {
+		m.nextScrub = now.Add(cfg.ScrubInterval)
+	}
+	return m, nil
+}
+
+// Start launches the live control loop.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stop = make(chan struct{})
+	stop := m.stop
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.cfg.PollInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.Poll()
+			}
+		}
+	}()
+}
+
+// Stop terminates the control loop (idempotent). Queued repairs stay
+// queued; a later Start resumes them.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		m.wg.Wait()
+	}
+}
+
+// Pause suspends queue draining (detection, triage, and scrubbing
+// continue); Resume lifts it.
+func (m *Manager) Pause() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.paused = true
+}
+
+func (m *Manager) Resume() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.paused = false
+}
+
+// Heartbeat records a datanode heartbeat — the serve layer's
+// dn.heartbeat RPC lands here. Resulting transitions (a suspect or
+// dead node coming back) are processed by the next Poll.
+func (m *Manager) Heartbeat(node int) error {
+	trans, err := m.det.Heartbeat(node, m.cfg.Clock())
+	if err != nil {
+		return err
+	}
+	if len(trans) > 0 {
+		m.mu.Lock()
+		m.pending = append(m.pending, trans...)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// NodeState returns the detector's view of one machine.
+func (m *Manager) NodeState(node int) NodeState { return m.det.State(node) }
+
+// Poll runs one control-loop iteration: evaluate detector timeouts,
+// process transitions, schedule due scrub slices, and drain the repair
+// queue as far as the throttle allows. It returns the first repair
+// execution error (detection and triage never fail). Safe for
+// concurrent use: overlapping calls serialise.
+func (m *Manager) Poll() error {
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	now := m.cfg.Clock()
+
+	m.mu.Lock()
+	trans := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	trans = append(trans, m.det.Evaluate(now)...)
+	for _, tr := range trans {
+		m.handleTransition(tr, now)
+	}
+
+	m.maybeScrub(now)
+
+	var firstErr error
+	for {
+		m.mu.Lock()
+		paused := m.paused
+		m.mu.Unlock()
+		if paused {
+			break
+		}
+		task, ok := m.queue.Peek()
+		if !ok {
+			break
+		}
+		if !m.bucket.Ready(task.Bytes, m.cfg.Clock()) {
+			break
+		}
+		m.queue.Pop()
+		if err := m.execute(task); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// handleTransition routes one detector transition into the registry
+// and queue.
+func (m *Manager) handleTransition(tr Transition, now time.Time) {
+	switch {
+	case tr.To == StateSuspect:
+		// Snapshot what this node's death WOULD cost, so a return
+		// inside the grace window can credit the saving. Read-only
+		// against the cluster; the registry is untouched until death.
+		repairs, bytes := m.estimateMachineRepair(tr.Node)
+		m.mu.Lock()
+		m.suspects[tr.Node] = suspectEstimate{repairs: repairs, bytes: bytes}
+		m.mu.Unlock()
+
+	case tr.To == StateDead:
+		m.mu.Lock()
+		delete(m.suspects, tr.Node)
+		m.mu.Unlock()
+		m.examineAndEnqueue(tr.Node, now)
+
+	case tr.To == StateAlive && tr.From == StateSuspect:
+		m.mu.Lock()
+		est, ok := m.suspects[tr.Node]
+		delete(m.suspects, tr.Node)
+		if ok && est.repairs > 0 {
+			m.avoided += est.repairs
+			m.avoidedBytes += est.bytes
+		}
+		m.mu.Unlock()
+
+	case tr.To == StateAlive && tr.From == StateDead:
+		// The node returned after repairs were enqueued: re-examine its
+		// inventory, cancelling entries that recovered and refreshing
+		// the rest.
+		m.examineAndEnqueue(tr.Node, now)
+	}
+}
+
+// examineAndEnqueue reconciles the queue with the registry's fresh view
+// of one machine's inventory.
+func (m *Manager) examineAndEnqueue(machine int, now time.Time) {
+	stripes, blocks := m.reg.ExamineMachine(machine)
+	for _, h := range stripes {
+		m.reconcileStripe(h, now)
+	}
+	for _, h := range blocks {
+		m.reconcileBlock(h, now)
+	}
+}
+
+// reconcileStripe turns one stripe-health change into a queue upsert
+// or cancellation.
+func (m *Manager) reconcileStripe(h StripeHealth, now time.Time) {
+	t := Task{Kind: TaskStripe, Stripe: h.Stripe}
+	if h.Erasures == 0 {
+		m.queue.Remove(t.Key())
+		return
+	}
+	t.Erasures = h.Erasures
+	t.Tolerance = m.tolerance
+	t.Bytes = h.ShardSize * int64(m.dataShards)
+	t.Risk = m.lossRisk(m.width, m.tolerance, h.Erasures, float64(t.Bytes))
+	t.Enqueued = now
+	m.queue.Upsert(t)
+}
+
+// reconcileBlock turns one replicated-block-health change into a queue
+// upsert or cancellation. Blocks with no surviving replica are lost,
+// not repairable: counted, never queued.
+func (m *Manager) reconcileBlock(h BlockHealth, now time.Time) {
+	t := Task{Kind: TaskReplicated, Block: h.Block}
+	if h.MissingReplicas == 0 {
+		m.queue.Remove(t.Key())
+		return
+	}
+	if h.LiveReplicas == 0 {
+		m.queue.Remove(t.Key())
+		m.mu.Lock()
+		m.lostBlocks++
+		m.mu.Unlock()
+		return
+	}
+	target := m.cluster.Replication()
+	t.Erasures = h.MissingReplicas
+	t.Tolerance = target - 1
+	t.Bytes = h.Size * int64(h.MissingReplicas)
+	t.Risk = m.lossRisk(target, target-1, h.MissingReplicas, float64(t.Bytes))
+	t.Enqueued = now
+	m.queue.Upsert(t)
+}
+
+// estimateMachineRepair sizes the repair work THIS machine's death
+// would enqueue, without touching the registry. Only degradation the
+// machine itself causes counts: a target already degraded by some
+// OTHER failure (a queued repair exists for it) will be repaired
+// whether or not this node returns, so crediting it to this node's
+// grace save would overstate the window's savings — if anything this
+// under-credits the node's marginal share of a multi-failure repair,
+// which is the honest direction for a savings metric.
+func (m *Manager) estimateMachineRepair(machine int) (repairs int, bytes int64) {
+	target := m.cluster.Replication()
+	seen := make(map[hdfs.StripeID]bool)
+	for _, bid := range m.cluster.BlocksOn(machine) {
+		info, ok := m.cluster.BlockInfoByID(bid)
+		if !ok {
+			continue
+		}
+		if info.Stripe >= 0 {
+			// Striped: at risk due to us only if our replica is the
+			// one with no live holder, and no repair is already
+			// pending for the stripe.
+			if len(info.Locations) != 0 || seen[info.Stripe] {
+				continue
+			}
+			seen[info.Stripe] = true
+			if m.queue.Contains((&Task{Kind: TaskStripe, Stripe: info.Stripe}).Key()) {
+				continue
+			}
+			detail, err := m.cluster.Stripe(info.Stripe)
+			if err != nil {
+				continue
+			}
+			repairs++
+			bytes += detail.ShardSize * int64(m.dataShards)
+			continue
+		}
+		// Replicated: under target with our copy among the missing and
+		// no re-replication already pending. The credited bytes are
+		// the ONE replica this node's return restores, not the block's
+		// whole deficit (other missing replicas repair regardless).
+		live := len(info.Locations)
+		if live == 0 || live >= target {
+			continue
+		}
+		ours := false
+		for _, loc := range info.Locations {
+			if loc == machine {
+				ours = true
+			}
+		}
+		if ours || m.queue.Contains((&Task{Kind: TaskReplicated, Block: bid}).Key()) {
+			continue
+		}
+		repairs++
+		bytes += info.Size
+	}
+	return repairs, bytes
+}
+
+// lossRisk is the MTTDL-derived loss rate (per hour) of the CURRENT
+// degraded state: the birth-death chain of §3.2 restarted at the
+// remaining redundancy, so each additional erasure multiplies the risk
+// by roughly the chain's repair-to-failure rate ratio. Repair bytes
+// feed the repair rate — bigger stripes repair slower and rank
+// riskier. States at or beyond the tolerance pin to the bare
+// time-to-next-failure.
+func (m *Manager) lossRisk(nodes, tolerance, erasures int, repairBytes float64) float64 {
+	remaining := tolerance - erasures
+	if remaining < 0 {
+		remaining = 0
+	}
+	remNodes := nodes - erasures
+	if remNodes <= remaining {
+		remNodes = remaining + 1
+	}
+	if repairBytes < 1 {
+		repairBytes = 1
+	}
+	sys := reliability.System{
+		Name:            "degraded",
+		Nodes:           remNodes,
+		Tolerance:       remaining,
+		RepairBytes:     repairBytes,
+		StorageOverhead: 1,
+	}
+	hours, err := reliability.MTTDLHours(sys, reliability.DefaultParams())
+	if err != nil || hours <= 0 {
+		return 1 // pessimistic fallback: one loss per hour
+	}
+	return 1 / hours
+}
+
+// maybeScrub runs one incremental scrub slice when due, feeding any
+// corruption it finds into the triage path.
+func (m *Manager) maybeScrub(now time.Time) {
+	if m.cfg.ScrubInterval <= 0 {
+		return
+	}
+	m.mu.Lock()
+	due := !now.Before(m.nextScrub)
+	if due {
+		m.nextScrub = now.Add(m.cfg.ScrubInterval)
+	}
+	m.mu.Unlock()
+	if !due {
+		return
+	}
+	rep, err := m.cluster.RunScrubberSlice(m.cfg.ScrubSliceMachines)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.scrubSlices++
+	m.scrubScanned += rep.ScannedReplicas
+	m.scrubCorrupt += rep.CorruptReplicas
+	m.mu.Unlock()
+	if len(rep.AffectedBlocks) == 0 {
+		return
+	}
+	stripes, blocks := m.reg.ExamineBlocks(rep.AffectedBlocks)
+	for _, h := range stripes {
+		m.reconcileStripe(h, now)
+	}
+	for _, h := range blocks {
+		m.reconcileBlock(h, now)
+	}
+}
+
+// execute runs one popped task against the cluster and accounts it.
+func (m *Manager) execute(task Task) error {
+	var (
+		rep *hdfs.FixReport
+		err error
+	)
+	switch task.Kind {
+	case TaskStripe:
+		rep, err = m.cluster.FixStripes([]hdfs.StripeID{task.Stripe})
+	case TaskReplicated:
+		rep, err = m.cluster.ReReplicateBlocks([]hdfs.BlockID{task.Block})
+	default:
+		return fmt.Errorf("repairmgr: unknown task kind %v", task.Kind)
+	}
+	now := m.cfg.Clock()
+	done := CompletedRepair{
+		Kind:        task.Kind,
+		Stripe:      task.Stripe,
+		Block:       task.Block,
+		Erasures:    task.Erasures,
+		WaitSeconds: now.Sub(task.Enqueued).Seconds(),
+	}
+	if err != nil {
+		// The target vanished (stripe deleted mid-flight): clear the
+		// registry entry and move on.
+		done.Unrecoverable = true
+	} else {
+		done.Bytes = rep.CrossRackBytes
+		done.Unrecoverable = len(rep.Unrecoverable) > 0
+		m.bucket.Spend(rep.CrossRackBytes, now)
+	}
+	// Refresh the registry so a clean repair clears its entry and a
+	// partial one stays visible (it re-enqueues when the next event
+	// touches it).
+	switch task.Kind {
+	case TaskStripe:
+		m.reg.MarkStripeRepaired(task.Stripe)
+	case TaskReplicated:
+		m.reg.MarkBlockRepaired(task.Block)
+	}
+	m.mu.Lock()
+	m.completedSeq++
+	done.Seq = m.completedSeq
+	m.repairsDone++
+	m.repairedBytes += done.Bytes
+	if done.Unrecoverable {
+		m.unrecoverable++
+	}
+	m.completed = append(m.completed, done)
+	if over := len(m.completed) - m.cfg.CompletedLog; over > 0 {
+		m.completed = append([]CompletedRepair(nil), m.completed[over:]...)
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// QueueDepth returns the number of pending repairs.
+func (m *Manager) QueueDepth() int { return m.queue.Len() }
+
+// Status snapshots the control plane.
+func (m *Manager) Status() Status {
+	s := Status{
+		Nodes:               m.det.Snapshot(),
+		QueueDepth:          m.queue.Len(),
+		QueueByErasures:     m.queue.DepthsByErasures(),
+		DegradedStripes:     m.reg.DegradedStripes(),
+		DegradedBlocks:      m.reg.DegradedBlocks(),
+		ThrottleBytesPerSec: m.bucket.Rate(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.Paused = m.paused
+	s.RepairsDone = m.repairsDone
+	s.RepairedBytes = m.repairedBytes
+	s.Unrecoverable = m.unrecoverable
+	s.AvoidedRepairs = m.avoided
+	s.AvoidedRepairBytes = m.avoidedBytes
+	s.LostBlocks = m.lostBlocks
+	s.ScrubSlices = m.scrubSlices
+	s.ScrubbedReplicas = m.scrubScanned
+	s.ScrubCorrupt = m.scrubCorrupt
+	s.Completed = append([]CompletedRepair(nil), m.completed...)
+	return s
+}

@@ -1,0 +1,96 @@
+// The repair bandwidth throttle: a token bucket over cross-rack repair
+// bytes. The paper's operators cap recovery traffic so it cannot
+// starve foreground map-reduce jobs of cross-rack bandwidth; the
+// manager reserves a repair's estimated download before starting it
+// and debits the actual bytes after, so the long-run repair rate never
+// exceeds the configured cap even when individual repairs overshoot
+// their estimate or exceed the burst.
+package repairmgr
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket meters bytes at a sustained rate with a bounded burst.
+// A rate <= 0 disables metering entirely (unlimited).
+type TokenBucket struct {
+	mu    sync.Mutex
+	rate  float64 // bytes/sec refill; <= 0 means unlimited
+	burst float64 // bucket capacity, bytes
+	level float64 // current tokens; may go negative after Spend
+	last  time.Time
+}
+
+// NewTokenBucket builds a bucket refilling at rate bytes/sec with the
+// given burst capacity, starting full. A non-positive rate builds an
+// unlimited bucket; a non-positive burst defaults to one second of
+// rate.
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &TokenBucket{rate: rate, burst: burst, level: burst, last: now}
+}
+
+// Unlimited reports whether metering is disabled.
+func (b *TokenBucket) Unlimited() bool { return b.rate <= 0 }
+
+// refillLocked accrues tokens up to the burst cap.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.level += dt * b.rate
+		if b.level > b.burst {
+			b.level = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Ready reports whether a job expecting to move n bytes may start now:
+// the bucket holds min(n, burst) tokens. Capping the requirement at
+// the burst keeps a single repair larger than the whole bucket
+// startable — Spend then drives the level negative, which stalls
+// subsequent repairs until the debt refills, enforcing the long-run
+// rate.
+func (b *TokenBucket) Ready(n int64, now time.Time) bool {
+	if b.Unlimited() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	need := float64(n)
+	if need > b.burst {
+		need = b.burst
+	}
+	return b.level >= need
+}
+
+// Spend debits n actually-moved bytes. The level may go negative.
+func (b *TokenBucket) Spend(n int64, now time.Time) {
+	if b.Unlimited() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	b.level -= float64(n)
+}
+
+// Level returns the current token level (after refilling to now) —
+// surfaced by the status RPC.
+func (b *TokenBucket) Level(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.level
+}
+
+// Rate returns the configured sustained rate (0 when unlimited).
+func (b *TokenBucket) Rate() float64 {
+	if b.Unlimited() {
+		return 0
+	}
+	return b.rate
+}

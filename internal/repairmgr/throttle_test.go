@@ -1,0 +1,70 @@
+package repairmgr
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(0, 0, t0)
+	if !b.Unlimited() || !b.Ready(1<<40, t0) || b.Rate() != 0 {
+		t.Fatal("zero-rate bucket is not unlimited")
+	}
+	b.Spend(1<<40, t0) // no-op, must not panic or stall
+	if !b.Ready(1, t0) {
+		t.Fatal("unlimited bucket stalled after spend")
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := NewTokenBucket(100, 100, t0) // 100 B/s, 100 B burst, starts full
+	if !b.Ready(50, t0) {
+		t.Fatal("full bucket not ready for 50")
+	}
+	b.Spend(100, t0)
+	if b.Ready(50, t0) {
+		t.Fatal("empty bucket ready")
+	}
+	if !b.Ready(50, t0.Add(500*time.Millisecond)) {
+		t.Fatal("bucket not ready after refilling 50 tokens")
+	}
+	if b.Ready(80, t0.Add(500*time.Millisecond)) {
+		t.Fatal("bucket ready for more than its level")
+	}
+	// The burst caps accumulation: a long idle stretch holds 100, not
+	// 100 + elapsed*rate.
+	if got := b.Level(t0.Add(time.Hour)); got != 100 {
+		t.Fatalf("level after an idle hour: %v, want burst cap 100", got)
+	}
+}
+
+// TestTokenBucketOversizeJob: a repair larger than the whole bucket
+// still starts (requirement capped at burst), and its debt stalls
+// followers until the long-run rate catches up.
+func TestTokenBucketOversizeJob(t *testing.T) {
+	b := NewTokenBucket(100, 100, t0)
+	if !b.Ready(1000, t0) {
+		t.Fatal("oversize job cannot start on a full bucket")
+	}
+	b.Spend(1000, t0)
+	if got := b.Level(t0); got != -900 {
+		t.Fatalf("level %v, want -900", got)
+	}
+	if b.Ready(1, t0.Add(5*time.Second)) {
+		t.Fatal("follower admitted while the debt is outstanding")
+	}
+	// After 10s the debt is repaid (level -900+1000=100, capped).
+	if !b.Ready(100, t0.Add(10*time.Second)) {
+		t.Fatal("bucket not ready after repaying the debt")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	b := NewTokenBucket(250, 0, t0)
+	if got := b.Level(t0); got != 250 {
+		t.Fatalf("default burst %v, want one second of rate", got)
+	}
+	if b.Rate() != 250 {
+		t.Fatalf("rate %v", b.Rate())
+	}
+}

@@ -361,6 +361,96 @@ func (c *Client) RestoreMachine(machine int) error {
 	return err
 }
 
+// RepairStatus is the client-visible snapshot of the repair control
+// plane (see the wire struct for field semantics).
+type RepairStatus struct {
+	Nodes           []RepairNodeState
+	QueueDepth      int
+	QueueByErasures map[int]int
+	Paused          bool
+	DegradedStripes int
+	DegradedBlocks  int
+	RepairsDone     int
+	RepairedBytes   int64
+	Unrecoverable   int
+	AvoidedRepairs  int
+	AvoidedBytes    int64
+	LostBlocks      int
+	ScrubSlices     int
+	ScrubReplicas   int
+	ScrubCorrupt    int
+	ThrottleBps     float64
+	Completed       []CompletedFix
+}
+
+// RepairNodeState is one machine's failure-detector state.
+type RepairNodeState struct {
+	Machine int
+	State   string // alive | suspect | dead
+}
+
+// CompletedFix is one completed repair, in completion order — the
+// observable record that priority ordering actually held.
+type CompletedFix struct {
+	Seq           int
+	Kind          string // stripe | replicated
+	Stripe        int64
+	Block         int64
+	Erasures      int
+	Bytes         int64
+	WaitSeconds   float64
+	Unrecoverable bool
+}
+
+// RepairStatus fetches the control plane's status from the namenode.
+// It errors when the cluster runs without a repair manager.
+func (c *Client) RepairStatus() (*RepairStatus, error) {
+	resp, err := c.nameCall(&request{Method: methodRepairStatus}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repair == nil {
+		return nil, fmt.Errorf("serve: repair status reply missing payload")
+	}
+	w := resp.Repair
+	st := &RepairStatus{
+		QueueDepth:      w.QueueDepth,
+		QueueByErasures: make(map[int]int, len(w.QueueByErasures)),
+		Paused:          w.Paused,
+		DegradedStripes: w.DegradedStripes,
+		DegradedBlocks:  w.DegradedBlocks,
+		RepairsDone:     w.RepairsDone,
+		RepairedBytes:   w.RepairedBytes,
+		Unrecoverable:   w.Unrecoverable,
+		AvoidedRepairs:  w.AvoidedRepairs,
+		AvoidedBytes:    w.AvoidedBytes,
+		LostBlocks:      w.LostBlocks,
+		ScrubSlices:     w.ScrubSlices,
+		ScrubReplicas:   w.ScrubReplicas,
+		ScrubCorrupt:    w.ScrubCorrupt,
+		ThrottleBps:     w.ThrottleBps,
+	}
+	for _, n := range w.Nodes {
+		st.Nodes = append(st.Nodes, RepairNodeState{Machine: n.Machine, State: n.State})
+	}
+	for _, d := range w.QueueByErasures {
+		st.QueueByErasures[d.Erasures] = d.Count
+	}
+	for _, f := range w.Completed {
+		st.Completed = append(st.Completed, CompletedFix{
+			Seq:           f.Seq,
+			Kind:          f.Kind,
+			Stripe:        f.Stripe,
+			Block:         f.Block,
+			Erasures:      f.Erasures,
+			Bytes:         f.Bytes,
+			WaitSeconds:   f.WaitSeconds,
+			Unrecoverable: f.Unrecoverable,
+		})
+	}
+	return st, nil
+}
+
 // fileBlocks fetches the file's size and block table.
 func (c *Client) fileBlocks(name string) (int64, []wireBlock, error) {
 	resp, err := c.nameCall(&request{Method: methodBlocks, Name: name}, nil)

@@ -20,6 +20,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/gf256"
 	"repro/internal/hdfs"
@@ -30,6 +31,12 @@ type DataNode struct {
 	cluster *hdfs.Cluster
 	machine int
 	srv     *server
+
+	// Heartbeat sender state (control plane enabled only): hbStop ends
+	// the loop, hbWg waits it out on close.
+	hbMu   sync.Mutex
+	hbStop chan struct{}
+	hbWg   sync.WaitGroup
 }
 
 // startDataNode launches the daemon for one machine on an ephemeral
@@ -161,5 +168,78 @@ func fetchChildPartial(child *wirePartialNode, targetSize int64) ([]byte, error)
 	return out, nil
 }
 
-// close severs the listener and every client connection.
-func (d *DataNode) close() { d.srv.close() }
+// heartbeatTimeout bounds one dn.heartbeat round trip: long enough for
+// a briefly busy namenode, short enough that a wedged one does not
+// back the sender up past its own death being declared.
+const heartbeatTimeout = time.Second
+
+// startHeartbeats launches the daemon's heartbeat loop: one
+// dn.heartbeat frame to the namenode immediately and then every
+// `every`, on a connection that is redialled after any transport
+// failure. Killing the daemon (close) stops the loop — which is
+// exactly how the failure detector learns about the death: silence.
+func (d *DataNode) startHeartbeats(nameAddr string, every time.Duration) {
+	d.hbMu.Lock()
+	defer d.hbMu.Unlock()
+	if d.hbStop != nil {
+		return // already beating
+	}
+	stop := make(chan struct{})
+	d.hbStop = stop
+	d.hbWg.Add(1)
+	go func() {
+		defer d.hbWg.Done()
+		var cn *conn
+		defer func() {
+			if cn != nil {
+				cn.close()
+			}
+		}()
+		beat := func() {
+			if cn == nil {
+				fresh, err := dialConn(nameAddr, heartbeatTimeout)
+				if err != nil {
+					return // namenode unreachable; retry next tick
+				}
+				cn = fresh
+			}
+			req := &request{Method: methodHeartbeat, Machine: d.machine}
+			if _, _, err := cn.call(req, nil, heartbeatTimeout); err != nil {
+				if _, remote := err.(*RemoteError); !remote {
+					cn.close()
+					cn = nil
+				}
+			}
+		}
+		beat()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				beat()
+			}
+		}
+	}()
+}
+
+// stopHeartbeats ends the heartbeat loop (idempotent).
+func (d *DataNode) stopHeartbeats() {
+	d.hbMu.Lock()
+	stop := d.hbStop
+	d.hbStop = nil
+	d.hbMu.Unlock()
+	if stop != nil {
+		close(stop)
+		d.hbWg.Wait()
+	}
+}
+
+// close severs the listener and every client connection, and silences
+// the heartbeat loop.
+func (d *DataNode) close() {
+	d.stopHeartbeats()
+	d.srv.close()
+}

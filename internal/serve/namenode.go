@@ -11,10 +11,57 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ec"
 	"repro/internal/hdfs"
+	"repro/internal/repairmgr"
 )
+
+// repairStatusToWire flattens a manager status for the wire: detector
+// states as strings, the tier map as a sorted list.
+func repairStatusToWire(st repairmgr.Status) *wireRepairStatus {
+	w := &wireRepairStatus{
+		QueueDepth:      st.QueueDepth,
+		Paused:          st.Paused,
+		DegradedStripes: st.DegradedStripes,
+		DegradedBlocks:  st.DegradedBlocks,
+		RepairsDone:     st.RepairsDone,
+		RepairedBytes:   st.RepairedBytes,
+		Unrecoverable:   st.Unrecoverable,
+		AvoidedRepairs:  st.AvoidedRepairs,
+		AvoidedBytes:    st.AvoidedRepairBytes,
+		LostBlocks:      st.LostBlocks,
+		ScrubSlices:     st.ScrubSlices,
+		ScrubReplicas:   st.ScrubbedReplicas,
+		ScrubCorrupt:    st.ScrubCorrupt,
+		ThrottleBps:     st.ThrottleBytesPerSec,
+	}
+	for _, n := range st.Nodes {
+		w.Nodes = append(w.Nodes, wireNodeState{Machine: n.Machine, State: n.State.String()})
+	}
+	tiers := make([]int, 0, len(st.QueueByErasures))
+	for e := range st.QueueByErasures {
+		tiers = append(tiers, e)
+	}
+	sort.Ints(tiers)
+	for _, e := range tiers {
+		w.QueueByErasures = append(w.QueueByErasures, wireTierDepth{Erasures: e, Count: st.QueueByErasures[e]})
+	}
+	for _, c := range st.Completed {
+		w.Completed = append(w.Completed, wireCompletedFix{
+			Seq:           c.Seq,
+			Kind:          c.Kind.String(),
+			Stripe:        int64(c.Stripe),
+			Block:         int64(c.Block),
+			Erasures:      c.Erasures,
+			Bytes:         c.Bytes,
+			WaitSeconds:   c.WaitSeconds,
+			Unrecoverable: c.Unrecoverable,
+		})
+	}
+	return w
+}
 
 // control is what the namenode needs from the System hosting it:
 // the live datanode address table and machine-level failure control
@@ -31,12 +78,16 @@ type NameNode struct {
 	code    ec.Code
 	bs      int64
 	ctl     control
+	mgr     *repairmgr.Manager // nil when the control plane is disabled
 	srv     *server
 }
 
 // startNameNode launches the namenode on an ephemeral localhost port.
-func startNameNode(cluster *hdfs.Cluster, code ec.Code, blockSize int64, ctl control) (*NameNode, error) {
-	n := &NameNode{cluster: cluster, code: code, bs: blockSize, ctl: ctl}
+// mgr, when non-nil, is the repair control plane the namenode fronts:
+// dn.heartbeat frames feed its failure detector and repair.status
+// exposes its queue/node/throttle state.
+func startNameNode(cluster *hdfs.Cluster, code ec.Code, blockSize int64, ctl control, mgr *repairmgr.Manager) (*NameNode, error) {
+	n := &NameNode{cluster: cluster, code: code, bs: blockSize, ctl: ctl, mgr: mgr}
 	srv, err := newServer(n.handle)
 	if err != nil {
 		return nil, err
@@ -147,6 +198,23 @@ func (n *NameNode) handle(req *request, payload []byte) (*response, []byte) {
 			return errResponse(err), nil
 		}
 		return okResponse(), nil
+
+	case methodHeartbeat:
+		if n.mgr == nil {
+			return errResponse(errors.New("serve: repair manager disabled")), nil
+		}
+		if err := n.mgr.Heartbeat(req.Machine); err != nil {
+			return errResponse(err), nil
+		}
+		return okResponse(), nil
+
+	case methodRepairStatus:
+		if n.mgr == nil {
+			return errResponse(errors.New("serve: repair manager disabled")), nil
+		}
+		resp := okResponse()
+		resp.Repair = repairStatusToWire(n.mgr.Status())
+		return resp, nil
 
 	default:
 		return errResponse(fmt.Errorf("serve: namenode: unknown method %q", req.Method)), nil

@@ -57,6 +57,11 @@ const (
 	methodFixer   = "fixer"
 	methodFail    = "fail"
 	methodRestore = "restore"
+	// methodHeartbeat is sent BY datanode daemons TO the namenode on a
+	// timer; the repair manager's failure detector consumes it.
+	// methodRepairStatus returns the control plane's status snapshot.
+	methodHeartbeat    = "dn.heartbeat"
+	methodRepairStatus = "repair.status"
 )
 
 // Datanode RPC method names.
@@ -168,15 +173,64 @@ type response struct {
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
 
-	Size            int64          `json:"size,omitempty"`
-	Raided          bool           `json:"raided,omitempty"`
-	Blocks          []wireBlock    `json:"blocks,omitempty"`
-	Stripe          *wireStripe    `json:"stripe,omitempty"`
-	Codec           string         `json:"codec,omitempty"`
-	BlockSize       int64          `json:"block_size,omitempty"`
-	DataNodes       []string       `json:"datanodes,omitempty"`
-	MachinesPerRack int            `json:"machines_per_rack,omitempty"`
-	Fix             *wireFixReport `json:"fix,omitempty"`
+	Size            int64             `json:"size,omitempty"`
+	Raided          bool              `json:"raided,omitempty"`
+	Blocks          []wireBlock       `json:"blocks,omitempty"`
+	Stripe          *wireStripe       `json:"stripe,omitempty"`
+	Codec           string            `json:"codec,omitempty"`
+	BlockSize       int64             `json:"block_size,omitempty"`
+	DataNodes       []string          `json:"datanodes,omitempty"`
+	MachinesPerRack int               `json:"machines_per_rack,omitempty"`
+	Fix             *wireFixReport    `json:"fix,omitempty"`
+	Repair          *wireRepairStatus `json:"repair,omitempty"`
+}
+
+// wireRepairStatus is the repair control plane's status snapshot —
+// queue depth, per-node detector states, throttle and grace-window
+// accounting, and the completion log that makes priority ordering
+// externally observable.
+type wireRepairStatus struct {
+	Nodes           []wireNodeState    `json:"nodes"`
+	QueueDepth      int                `json:"queue_depth"`
+	QueueByErasures []wireTierDepth    `json:"queue_by_erasures,omitempty"`
+	Paused          bool               `json:"paused,omitempty"`
+	DegradedStripes int                `json:"degraded_stripes,omitempty"`
+	DegradedBlocks  int                `json:"degraded_blocks,omitempty"`
+	RepairsDone     int                `json:"repairs_done"`
+	RepairedBytes   int64              `json:"repaired_bytes"`
+	Unrecoverable   int                `json:"unrecoverable,omitempty"`
+	AvoidedRepairs  int                `json:"avoided_repairs"`
+	AvoidedBytes    int64              `json:"avoided_bytes"`
+	LostBlocks      int                `json:"lost_blocks,omitempty"`
+	ScrubSlices     int                `json:"scrub_slices,omitempty"`
+	ScrubReplicas   int                `json:"scrub_replicas,omitempty"`
+	ScrubCorrupt    int                `json:"scrub_corrupt,omitempty"`
+	ThrottleBps     float64            `json:"throttle_bytes_per_sec,omitempty"`
+	Completed       []wireCompletedFix `json:"completed,omitempty"`
+}
+
+// wireNodeState is one machine's failure-detector state.
+type wireNodeState struct {
+	Machine int    `json:"machine"`
+	State   string `json:"state"` // alive | suspect | dead
+}
+
+// wireTierDepth is the queue depth at one erasure tier.
+type wireTierDepth struct {
+	Erasures int `json:"erasures"`
+	Count    int `json:"count"`
+}
+
+// wireCompletedFix is one completed repair, in completion order.
+type wireCompletedFix struct {
+	Seq           int     `json:"seq"`
+	Kind          string  `json:"kind"` // stripe | replicated
+	Stripe        int64   `json:"stripe,omitempty"`
+	Block         int64   `json:"block,omitempty"`
+	Erasures      int     `json:"erasures"`
+	Bytes         int64   `json:"bytes"`
+	WaitSeconds   float64 `json:"wait_seconds"`
+	Unrecoverable bool    `json:"unrecoverable,omitempty"`
 }
 
 // wireBlock is one block's client-visible metadata.

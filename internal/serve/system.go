@@ -11,16 +11,44 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ec"
 	"repro/internal/hdfs"
+	"repro/internal/repairmgr"
 )
+
+// Option configures a System at Start.
+type Option func(*sysOptions)
+
+type sysOptions struct {
+	mgrCfg     *repairmgr.Config
+	hbInterval time.Duration
+}
+
+// WithRepairManager runs the autonomous repair control plane inside
+// the namenode: every datanode daemon sends dn.heartbeat frames, the
+// manager's failure detector tracks alive → suspect → dead, and
+// detected losses repair themselves through the risk-prioritised,
+// bandwidth-throttled queue — no manual fixer calls. The manager's
+// clock must be real time (leave cfg.Clock nil) for a live system.
+func WithRepairManager(cfg repairmgr.Config) Option {
+	return func(o *sysOptions) { o.mgrCfg = &cfg }
+}
+
+// WithHeartbeatInterval overrides the datanode heartbeat period
+// (default: a third of the manager's SuspectAfter).
+func WithHeartbeatInterval(d time.Duration) Option {
+	return func(o *sysOptions) { o.hbInterval = d }
+}
 
 // System is a running serving cluster.
 type System struct {
 	cluster *hdfs.Cluster
 	code    ec.Code
 	nn      *NameNode
+	mgr     *repairmgr.Manager // nil when the control plane is disabled
+	hbEvery time.Duration
 
 	mu  sync.Mutex
 	dns []*DataNode // nil entry = machine's daemon currently down
@@ -29,12 +57,36 @@ type System struct {
 // Start builds the storage cluster from cfg and brings up one datanode
 // daemon per machine plus the namenode. Close must be called to
 // release the listeners.
-func Start(cfg hdfs.Config) (*System, error) {
+func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
+	var o sysOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	cluster, err := hdfs.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{cluster: cluster, code: cfg.Code}
+	if o.mgrCfg != nil {
+		mgr, err := repairmgr.New(cluster, *o.mgrCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.mgr = mgr
+		s.hbEvery = o.hbInterval
+		if s.hbEvery <= 0 {
+			// Three beats per suspect window keeps one lost frame from
+			// mattering.
+			suspectAfter := o.mgrCfg.SuspectAfter
+			if suspectAfter <= 0 {
+				suspectAfter = repairmgr.DefaultConfig().SuspectAfter
+			}
+			s.hbEvery = suspectAfter / 3
+			if s.hbEvery < 5*time.Millisecond {
+				s.hbEvery = 5 * time.Millisecond
+			}
+		}
+	}
 	s.dns = make([]*DataNode, cluster.Machines())
 	for m := range s.dns {
 		dn, err := startDataNode(cluster, m)
@@ -44,14 +96,31 @@ func Start(cfg hdfs.Config) (*System, error) {
 		}
 		s.dns[m] = dn
 	}
-	nn, err := startNameNode(cluster, cfg.Code, cfg.BlockSize, s)
+	nn, err := startNameNode(cluster, cfg.Code, cfg.BlockSize, s, s.mgr)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
 	s.nn = nn
+	if s.mgr != nil {
+		// Heartbeats need the namenode's address, so they start last;
+		// the detector registered every node alive at construction, so
+		// nothing is suspect before the first beats flow.
+		s.mu.Lock()
+		for _, dn := range s.dns {
+			if dn != nil {
+				dn.startHeartbeats(nn.Addr(), s.hbEvery)
+			}
+		}
+		s.mu.Unlock()
+		s.mgr.Start()
+	}
 	return s, nil
 }
+
+// RepairManager exposes the control plane for tests and benchmarks
+// (nil when Start ran without WithRepairManager).
+func (s *System) RepairManager() *repairmgr.Manager { return s.mgr }
 
 // NameAddr returns the namenode's address — the only address a Client
 // needs.
@@ -119,11 +188,25 @@ func (s *System) restartDataNode(machine int) error {
 	}
 	s.cluster.RestoreMachine(machine)
 	s.dns[machine] = dn
+	if s.mgr != nil {
+		// Re-register with the failure detector: restart the heartbeat
+		// loop AND deliver one beat synchronously, so a restart inside
+		// the grace window cancels the pending repair instead of racing
+		// the next heartbeat tick against the death deadline.
+		dn.startHeartbeats(s.nn.Addr(), s.hbEvery)
+		if err := s.mgr.Heartbeat(machine); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Close tears down the namenode and every datanode daemon.
+// Close tears down the control plane, the namenode, and every
+// datanode daemon.
 func (s *System) Close() error {
+	if s.mgr != nil {
+		s.mgr.Stop()
+	}
 	if s.nn != nil {
 		s.nn.close()
 	}

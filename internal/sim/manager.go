@@ -1,0 +1,361 @@
+// Trace replay through the repair manager's policies.
+//
+// The live control plane (internal/repairmgr) detects, delays,
+// triages, and throttles repairs on a real cluster; this file asks
+// what those policies would have done to the paper's 24-day
+// production-calibrated failure trace, against an EAGER baseline that
+// repairs every triggering event immediately with no bandwidth cap —
+// the operating point the paper's cluster effectively ran at.
+//
+// Three quantities come out:
+//
+//   - Repair bytes saved by the delayed-repair grace window: the
+//     fraction of triggering events whose machines return within the
+//     window never repair at all. The eager baseline pays full price.
+//
+//   - Degraded-read p99 under throttled versus eager repair: the same
+//     per-day contended-fabric replay as ContentionStudy, with the
+//     manager scenario submitting fewer repairs (transients skipped),
+//     later (the grace delay), and paced by the token-bucket rate.
+//
+//   - Data-loss probability over the trace window: the §3.2 MTTDL
+//     chain evaluated at each scenario's MEASURED mean repair latency
+//     — the delayed scenario holds stripes degraded longer, which is
+//     the reliability price the grace window and throttle pay for
+//     their bandwidth savings, and the replay quantifies both sides.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ec"
+	"repro/internal/netsim"
+	"repro/internal/reliability"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ManagerReplayConfig parameterises a manager-policy trace replay.
+type ManagerReplayConfig struct {
+	// Contention shapes the fabric, foreground load, and per-day
+	// sampling, exactly as in ContentionStudy.
+	Contention ContentionConfig
+	// TransientFraction is the share of triggering events whose
+	// machines return within the grace window, so the manager never
+	// repairs them. The eager baseline repairs everything. This is a
+	// model knob: the trace's events all triggered recovery in
+	// production (which ran its own delay), so this expresses how much
+	// MORE a tunable grace window forgives; the related-work
+	// observation that the large majority of unavailability events are
+	// transient caps it from above.
+	TransientFraction float64
+	// GraceSeconds delays every managed repair's submission — the
+	// detection-to-enqueue wait of the delayed-repair timer.
+	GraceSeconds float64
+	// RepairBytesPerSecCap paces managed repair submissions (token
+	// bucket); 0 leaves them unthrottled.
+	RepairBytesPerSecCap float64
+	// StripesAtRisk scales per-stripe loss probability to a cluster
+	// (the paper's cluster stores multiple petabytes; the default
+	// models 100k RS stripes).
+	StripesAtRisk int
+}
+
+// DefaultManagerReplayConfig returns a configuration that runs in
+// seconds: the default contention fabric, half the triggering events
+// transient, a 15-minute grace window, and a 50 MB/s repair cap.
+func DefaultManagerReplayConfig() ManagerReplayConfig {
+	return ManagerReplayConfig{
+		Contention:           DefaultContentionConfig(),
+		TransientFraction:    0.5,
+		GraceSeconds:         900,
+		RepairBytesPerSecCap: 50e6,
+		StripesAtRisk:        100_000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ManagerReplayConfig) Validate(stripeWidth int) error {
+	if err := c.Contention.Validate(stripeWidth); err != nil {
+		return err
+	}
+	if c.TransientFraction < 0 || c.TransientFraction > 1 {
+		return errors.New("sim: TransientFraction must be in [0, 1]")
+	}
+	if c.GraceSeconds < 0 {
+		return errors.New("sim: GraceSeconds must be >= 0")
+	}
+	if c.RepairBytesPerSecCap < 0 {
+		return errors.New("sim: RepairBytesPerSecCap must be >= 0")
+	}
+	if c.StripesAtRisk < 1 {
+		return errors.New("sim: StripesAtRisk must be >= 1")
+	}
+	return nil
+}
+
+// ManagerReplayResult is the eager-versus-managed comparison.
+type ManagerReplayResult struct {
+	CodeName string
+	// Days is the full trace length; SampledDays how many the
+	// contended-fabric replay simulated.
+	Days, SampledDays int
+
+	// Whole-trace repair-byte accounting (every triggered block, not
+	// just the sampled ones). GraceSavedBytes = Eager - Managed: the
+	// traffic the delayed-repair window never moved.
+	EagerRepairBytes   int64
+	ManagedRepairBytes int64
+	GraceSavedBytes    int64
+	GraceSavedFraction float64
+
+	// Contended-fabric outcomes over the sampled days.
+	EagerRepairs   int
+	ManagedRepairs int
+	// RepairP99 is submission-to-completion (queueing included);
+	// managed latencies do NOT include the grace delay (that appears in
+	// the reliability term below, where it belongs).
+	EagerRepairP99   float64
+	ManagedRepairP99 float64
+	// DegradedP99 is the client-visible quantity: identical degraded
+	// reads injected into both scenarios.
+	EagerDegradedP99   float64
+	ManagedDegradedP99 float64
+
+	// Reliability over the trace window across StripesAtRisk stripes:
+	// the MTTDL chain at each scenario's measured mean repair time
+	// (managed adds the grace delay to its repair time).
+	EagerDataLossProb   float64
+	ManagedDataLossProb float64
+}
+
+// transientDraw decides deterministically whether a triggered event is
+// transient, independent of the code under study, so every scenario
+// and codec sees the identical event classification.
+func transientDraw(ev workload.TriggeredEvent, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	rng := rand.New(rand.NewSource(ev.SizeSeed ^ 0x7ee7_5a5a))
+	return rng.Float64() < fraction
+}
+
+// RunManagerReplay replays the trace under one codec.
+func RunManagerReplay(code ec.Code, tr *workload.Trace, cfg ManagerReplayConfig) (*ManagerReplayResult, error) {
+	if code == nil {
+		return nil, errors.New("sim: code is nil")
+	}
+	if tr == nil || len(tr.Days) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	width := code.TotalShards()
+	if err := cfg.Validate(width); err != nil {
+		return nil, err
+	}
+	srcs, err := buildPlanSources(code)
+	if err != nil {
+		return nil, err
+	}
+	// Per-position repair download in bytes, per block byte: the plan's
+	// units at shard size 2 halve into a per-byte multiple.
+	perPosUnits := make([]int64, width)
+	for pos, reads := range srcs {
+		for _, r := range reads {
+			perPosUnits[pos] += r.units
+		}
+	}
+
+	res := &ManagerReplayResult{CodeName: code.Name(), Days: len(tr.Days)}
+
+	// Whole-trace byte accounting.
+	for _, day := range tr.Days {
+		for _, ev := range day.Triggered {
+			transient := transientDraw(ev, cfg.TransientFraction)
+			ev.ReplayBlocks(tr.Config, width, func(d workload.BlockDraw) {
+				bytes := perPosUnits[d.StripePos] * d.Bytes / 2
+				res.EagerRepairBytes += bytes
+				if !transient {
+					res.ManagedRepairBytes += bytes
+				}
+			})
+		}
+	}
+	res.GraceSavedBytes = res.EagerRepairBytes - res.ManagedRepairBytes
+	if res.EagerRepairBytes > 0 {
+		res.GraceSavedFraction = float64(res.GraceSavedBytes) / float64(res.EagerRepairBytes)
+	}
+
+	// Contended-fabric replay over stride-sampled days, once per
+	// scenario.
+	days := sampleDays(tr.Days, cfg.Contention.MaxDays)
+	res.SampledDays = len(days)
+	eager, err := replayScenario(code, tr, days, srcs, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	managed, err := replayScenario(code, tr, days, srcs, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res.EagerRepairs = len(eager.repairTimes)
+	res.ManagedRepairs = len(managed.repairTimes)
+	res.EagerRepairP99 = stats.Percentile(eager.repairTimes, 99)
+	res.ManagedRepairP99 = stats.Percentile(managed.repairTimes, 99)
+	res.EagerDegradedP99 = stats.Percentile(eager.degradedTimes, 99)
+	res.ManagedDegradedP99 = stats.Percentile(managed.degradedTimes, 99)
+
+	// Reliability: loss probability over the trace window at each
+	// scenario's measured repair time.
+	traceHours := float64(len(tr.Days)) * 24
+	res.EagerDataLossProb = lossProbability(code, stats.Mean(eager.repairTimes), traceHours, cfg.StripesAtRisk)
+	res.ManagedDataLossProb = lossProbability(code, stats.Mean(managed.repairTimes)+cfg.GraceSeconds, traceHours, cfg.StripesAtRisk)
+	return res, nil
+}
+
+// sampleDays stride-samples the trace days to at most max (0 = all),
+// mirroring ContentionStudy.
+func sampleDays(days []workload.Day, max int) []workload.Day {
+	if max <= 0 || len(days) <= max {
+		return days
+	}
+	stride := (len(days) + max - 1) / max
+	sampled := make([]workload.Day, 0, max)
+	for i := 0; i < len(days) && len(sampled) < max; i += stride {
+		sampled = append(sampled, days[i])
+	}
+	return sampled
+}
+
+// scenarioOutcome collects one scenario's latency samples.
+type scenarioOutcome struct {
+	repairTimes   []float64
+	degradedTimes []float64
+}
+
+// replayScenario runs the per-day contended replay. managed selects
+// the manager's policies: transient events skipped, submissions
+// delayed by the grace window, pacing by the byte cap. Foreground
+// load, placements, and degraded reads are identical across scenarios
+// (same per-day seeds).
+func replayScenario(code ec.Code, tr *workload.Trace, days []workload.Day, srcs [][]sourceRead, cfg ManagerReplayConfig, managed bool) (*scenarioOutcome, error) {
+	width := code.TotalShards()
+	ccfg := cfg.Contention
+	out := &scenarioOutcome{}
+	for _, day := range days {
+		draws := day.SampleBlocks(tr.Config, width, ccfg.RepairsPerDay)
+		// Classify the day's sampled draws by replaying the transient
+		// decision at event granularity: SampleBlocks flattens events,
+		// so classify per draw with a seed derived from the day — the
+		// same decision stream for both codecs and both scenarios comes
+		// from the day index, not from the scenario.
+		transientRng := rand.New(rand.NewSource(int64(day.Index+1) * 0x1e3779b97f4a7c15))
+		transient := make([]bool, len(draws))
+		for i := range draws {
+			transient[i] = transientRng.Float64() < cfg.TransientFraction
+		}
+
+		sim, err := netsim.NewSimulator(ccfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		daySeed := ccfg.Seed ^ (int64(day.Index+1) * 0x5851f42d4c957f2d)
+		if ccfg.ForegroundWorkers > 0 {
+			err := netsim.InjectForeground(sim, netsim.ForegroundConfig{
+				Workers:   ccfg.ForegroundWorkers,
+				MeanBytes: ccfg.ForegroundMeanBytes,
+				Until:     ccfg.WindowSeconds,
+				Seed:      daySeed,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		sched := netsim.NewScheduler(sim, ccfg.Policy, ccfg.MaxConcurrentRepairs)
+		rng := rand.New(rand.NewSource(daySeed + 1))
+
+		spread := ccfg.WindowSeconds / 2 / float64(len(draws)+1)
+		// Token-bucket pacing of submissions: the next managed repair
+		// may not be submitted before the bucket has refilled its
+		// bytes.
+		bucketFree := 0.0
+		id := 0
+		for i, d := range draws {
+			// Placement draws ALWAYS advance, so both scenarios place
+			// the surviving repairs identically.
+			job := buildJob(rng, ccfg.Topology, srcs[d.StripePos], width, d.Bytes, ccfg.PartialSums)
+			if managed && transient[i] {
+				continue // returned within the grace window: never repaired
+			}
+			submit := float64(i+1) * spread
+			if managed {
+				submit += cfg.GraceSeconds
+				if cfg.RepairBytesPerSecCap > 0 {
+					if submit < bucketFree {
+						submit = bucketFree
+					}
+					bucketFree = submit + float64(job.TotalBytes())/cfg.RepairBytesPerSecCap
+				}
+			}
+			job.ID = id
+			job.Submit = submit
+			id++
+			sched.Submit(job)
+		}
+		for j := 0; j < ccfg.DegradedReadsPerDay; j++ {
+			size := tr.Config.BlockBytes
+			if len(draws) > 0 {
+				size = draws[j%len(draws)].Bytes
+			}
+			job := buildJob(rng, ccfg.Topology, srcs[rng.Intn(width)], width, size, ccfg.PartialSums)
+			job.ID = id
+			job.Degraded = true
+			job.Submit = (float64(j) + 0.5) * ccfg.WindowSeconds / 2 / float64(ccfg.DegradedReadsPerDay)
+			id++
+			sched.Submit(job)
+		}
+		// The managed scenario's grace delay can push completions past
+		// the foreground window; give the run headroom to drain.
+		horizon := (ccfg.WindowSeconds + cfg.GraceSeconds + 1) * 1e6
+		if err := sim.Run(horizon); err != nil {
+			return nil, fmt.Errorf("sim: day %d: %w", day.Index, err)
+		}
+		for _, r := range sched.Results() {
+			if r.Degraded {
+				out.degradedTimes = append(out.degradedTimes, r.TotalSeconds())
+			} else {
+				out.repairTimes = append(out.repairTimes, r.TotalSeconds())
+			}
+		}
+	}
+	return out, nil
+}
+
+// lossProbability evaluates the §3.2 MTTDL chain at a measured mean
+// repair time and converts it to a loss probability over the window
+// across n independent stripes. The chain's repair rate is
+// bandwidth/bytes; expressing a measured MTTR through it means setting
+// bytes = bandwidth × MTTR, which reproduces mu = 1/MTTR exactly.
+func lossProbability(code ec.Code, mttrSeconds, windowHours float64, n int) float64 {
+	if mttrSeconds <= 0 {
+		mttrSeconds = 1
+	}
+	p := reliability.DefaultParams()
+	sys := reliability.System{
+		Name:            code.Name(),
+		Nodes:           code.TotalShards(),
+		Tolerance:       code.ParityShards(),
+		RepairBytes:     p.RepairBytesPerHour * (mttrSeconds / 3600),
+		StorageOverhead: code.StorageOverhead(),
+	}
+	mttdlHours, err := reliability.MTTDLHours(sys, p)
+	if err != nil || mttdlHours <= 0 {
+		return 1
+	}
+	perStripe := -math.Expm1(-windowHours / mttdlHours) // 1 - e^-t/MTTDL
+	// Across n independent stripes: 1 - (1-p)^n, computed in log space
+	// for the tiny-p regime.
+	return -math.Expm1(float64(n) * math.Log1p(-perStripe))
+}

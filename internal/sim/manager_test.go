@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rs"
+	"repro/internal/workload"
+)
+
+// managerTestConfig returns a replay configuration small enough for a
+// unit test: a short window, few repairs, modest foreground load.
+func managerTestConfig() ManagerReplayConfig {
+	cfg := DefaultManagerReplayConfig()
+	cfg.Contention.MaxDays = 2
+	cfg.Contention.RepairsPerDay = 8
+	cfg.Contention.DegradedReadsPerDay = 3
+	cfg.Contention.ForegroundWorkers = 8
+	cfg.GraceSeconds = 60
+	return cfg
+}
+
+func managerTestTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.Days = 6
+	wcfg.Machines = 200
+	wcfg.BlocksPerTriggerMedian = 40
+	wcfg.MaxBlocksPerMachine = 200
+	tr, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestManagerReplayGraceSavings(t *testing.T) {
+	code, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := managerTestTrace(t)
+	res, err := RunManagerReplay(code, tr, managerTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EagerRepairBytes <= 0 {
+		t.Fatal("eager scenario repaired no bytes")
+	}
+	if res.GraceSavedBytes != res.EagerRepairBytes-res.ManagedRepairBytes {
+		t.Fatalf("byte accounting broken: %+v", res)
+	}
+	if res.GraceSavedBytes <= 0 || res.GraceSavedFraction <= 0 || res.GraceSavedFraction >= 1 {
+		t.Fatalf("grace window saved nothing plausible: %+v", res)
+	}
+	// Half the events transient should save roughly half the bytes —
+	// allow a wide band for event-size skew.
+	if res.GraceSavedFraction < 0.2 || res.GraceSavedFraction > 0.8 {
+		t.Fatalf("saved fraction %.3f implausible for TransientFraction 0.5", res.GraceSavedFraction)
+	}
+	if res.ManagedRepairs >= res.EagerRepairs {
+		t.Fatalf("managed scenario repaired as much as eager: %+v", res)
+	}
+	if res.EagerDegradedP99 <= 0 || res.ManagedDegradedP99 <= 0 {
+		t.Fatalf("degraded p99 missing: %+v", res)
+	}
+	for _, p := range []float64{res.EagerDataLossProb, res.ManagedDataLossProb} {
+		if p < 0 || p > 1 {
+			t.Fatalf("loss probability out of range: %+v", res)
+		}
+	}
+	if res.ManagedDataLossProb < res.EagerDataLossProb {
+		t.Fatalf("delayed repair cannot be MORE reliable: %+v", res)
+	}
+}
+
+func TestManagerReplayDeterministic(t *testing.T) {
+	code, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := managerTestTrace(t)
+	cfg := managerTestConfig()
+	a, err := RunManagerReplay(code, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunManagerReplay(code, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("replay not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestManagerReplayZeroGraceMatchesEagerBytes(t *testing.T) {
+	code, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := managerTestTrace(t)
+	cfg := managerTestConfig()
+	cfg.TransientFraction = 0
+	cfg.GraceSeconds = 0
+	cfg.RepairBytesPerSecCap = 0
+	res, err := RunManagerReplay(code, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GraceSavedBytes != 0 || res.ManagedRepairBytes != res.EagerRepairBytes {
+		t.Fatalf("no-grace manager should match eager bytes: %+v", res)
+	}
+	if res.ManagedRepairs != res.EagerRepairs {
+		t.Fatalf("no-grace manager should run the same repairs: %+v", res)
+	}
+}
+
+func TestManagerReplayValidation(t *testing.T) {
+	code, err := rs.New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := managerTestTrace(t)
+	bad := []func(*ManagerReplayConfig){
+		func(c *ManagerReplayConfig) { c.TransientFraction = 1.5 },
+		func(c *ManagerReplayConfig) { c.TransientFraction = -0.1 },
+		func(c *ManagerReplayConfig) { c.GraceSeconds = -1 },
+		func(c *ManagerReplayConfig) { c.RepairBytesPerSecCap = -1 },
+		func(c *ManagerReplayConfig) { c.StripesAtRisk = 0 },
+		func(c *ManagerReplayConfig) { c.Contention.Topology.Racks = 2 },
+	}
+	for i, mut := range bad {
+		cfg := managerTestConfig()
+		mut(&cfg)
+		if _, err := RunManagerReplay(code, tr, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := RunManagerReplay(nil, tr, managerTestConfig()); err == nil {
+		t.Error("nil code accepted")
+	}
+	if _, err := RunManagerReplay(code, nil, managerTestConfig()); err == nil {
+		t.Error("nil trace accepted")
+	}
+}

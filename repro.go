@@ -105,6 +105,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/regenerating"
 	"repro/internal/reliability"
+	"repro/internal/repairmgr"
 	"repro/internal/rs"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -581,10 +582,37 @@ type LoadResult = serve.LoadResult
 // ServeBenchReport is the machine-readable BENCH_serve.json payload.
 type ServeBenchReport = serve.BenchReport
 
+// ServeOption configures a serving system at Start.
+type ServeOption = serve.Option
+
+// RepairManagerConfig parameterises the autonomous repair control
+// plane: detector timeouts (suspect / grace window), the control tick,
+// the cross-rack repair byte cap, starvation aging, and background
+// scrub scheduling.
+type RepairManagerConfig = repairmgr.Config
+
+// DefaultRepairManagerConfig returns production-flavoured control-
+// plane settings.
+func DefaultRepairManagerConfig() RepairManagerConfig { return repairmgr.DefaultConfig() }
+
+// WithRepairManager runs the autonomous repair control plane inside
+// the serving namenode: datanode daemons heartbeat it, dead nodes'
+// stripes repair themselves through a risk-prioritised queue behind a
+// bandwidth throttle, and kill-then-restart inside the grace window
+// never triggers repair. The repair.status RPC (ServeClient.
+// RepairStatus) exposes node states, queue depth, and the completion
+// log.
+func WithRepairManager(cfg RepairManagerConfig) ServeOption { return serve.WithRepairManager(cfg) }
+
+// ServeRepairStatus is a client's view of the repair control plane.
+type ServeRepairStatus = serve.RepairStatus
+
 // StartServeSystem builds the storage cluster and brings up its
-// namenode and datanode daemons. Close the system to release the
-// listeners.
-func StartServeSystem(cfg HDFSConfig) (*ServeSystem, error) { return serve.Start(cfg) }
+// namenode and datanode daemons (plus, with WithRepairManager, the
+// repair control plane). Close the system to release the listeners.
+func StartServeSystem(cfg HDFSConfig, opts ...ServeOption) (*ServeSystem, error) {
+	return serve.Start(cfg, opts...)
+}
 
 // ServeClientOption configures a serving-layer client at dial time.
 type ServeClientOption = serve.ClientOption
@@ -625,6 +653,42 @@ type ServePartialSumBenchReport = serve.PartialSumBenchReport
 // degraded reads, then partial-sum — on one shared configuration.
 func RunServePartialSumBench(codecs []Codec, cfg LoadConfig) (*ServePartialSumBenchReport, error) {
 	return serve.RunPartialSumBench(codecs, cfg)
+}
+
+// RepairMgrBenchConfig parameterises the repair-manager benchmark;
+// RepairMgrBenchReport is the machine-readable BENCH_repairmgr.json
+// payload: per codec, time-to-full-health after a kill, the repair
+// bytes the grace window saved, foreground p99 under throttled versus
+// unthrottled background repair, and the failure-trace replay.
+type RepairMgrBenchConfig = serve.RepairMgrBenchConfig
+
+// RepairMgrBenchReport is the repair-manager benchmark's report.
+type RepairMgrBenchReport = serve.RepairMgrBenchReport
+
+// RunRepairMgrBench measures the autonomous repair control plane end
+// to end for each codec on live TCP clusters and replays the failure
+// trace through its policies.
+func RunRepairMgrBench(codecs []Codec, cfg RepairMgrBenchConfig) (*RepairMgrBenchReport, error) {
+	return serve.RunRepairMgrBench(codecs, cfg)
+}
+
+// ManagerReplayConfig parameterises a failure-trace replay through the
+// repair manager's policies; ManagerReplayResult compares the managed
+// cluster (grace window, throttle) against an eager baseline: repair
+// bytes saved, contended-fabric p99s, and data-loss probability.
+type ManagerReplayConfig = sim.ManagerReplayConfig
+
+// ManagerReplayResult is the eager-versus-managed trace comparison.
+type ManagerReplayResult = sim.ManagerReplayResult
+
+// DefaultManagerReplayConfig returns a replay configuration that runs
+// in seconds.
+func DefaultManagerReplayConfig() ManagerReplayConfig { return sim.DefaultManagerReplayConfig() }
+
+// RunManagerReplay replays a failure trace through the repair
+// manager's policies under one codec.
+func RunManagerReplay(c Codec, tr *Trace, cfg ManagerReplayConfig) (*ManagerReplayResult, error) {
+	return sim.RunManagerReplay(c, tr, cfg)
 }
 
 // StandardCodecs returns the paper's codec lineup for (k, r): RS,
