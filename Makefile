@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench ci
+.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
 
 build:
 	$(GO) build ./...
@@ -45,10 +45,13 @@ cover:
 # TCP serving layer. The serving layer and the repair control plane run
 # twice (-count=2): their tests synchronize on progress (fake clocks,
 # status polling), not wall-clock sleeps, and repeating them
-# back-to-back is the regression gate for that flakiness class.
+# back-to-back is the regression gate for that flakiness class. The
+# sharded-metadata property tests and the concurrency storms (single
+# and 4-shard planes, cross-shard writes) also repeat under -race.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/...
 	$(GO) test -race -count=2 ./internal/serve/... ./internal/repairmgr/...
+	$(GO) test -race -count=2 -run 'TestShard|TestConcurrent' ./internal/hdfs/
 
 # A few seconds of native Go fuzzing per codec: random data, random
 # erasure patterns up to each code's tolerance, decode must round-trip
@@ -65,7 +68,7 @@ bench:
 # One-iteration pass over every benchmark so bench code cannot rot,
 # plus a 2-second loadgen run on a tiny live TCP cluster so the serving
 # layer's end-to-end path (kill mid-run included) cannot rot either.
-benchsmoke: repairmgr-smoke
+benchsmoke: repairmgr-smoke shards-smoke
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
 
@@ -75,6 +78,12 @@ benchsmoke: repairmgr-smoke
 # or if a restart inside the grace window moves any repair bytes).
 repairmgr-smoke:
 	$(GO) run ./cmd/loadgen -repairmgr -codecs rs -k 4 -r 2 -clients 2 -duration 1500ms -files 3 -filesize 32768 -blocksize 8192 -out none
+
+# Short sharded-metadata run: the Zipf many-files workload at 1 and 4
+# shards; the command exits non-zero on any op error or if 4-shard
+# metadata throughput drops below 1-shard (the monotonic-scaling gate).
+shards-smoke:
+	$(GO) run ./cmd/loadgen -shardbench -shards 1,4 -duration 2s -out none
 
 # Regenerate BENCH_engine.json (batch repair throughput, serial vs
 # engine-parallel).
@@ -102,5 +111,10 @@ partialsum-bench:
 # foreground p99, 24-day trace replay).
 repairmgr-bench:
 	$(GO) run ./cmd/loadgen -repairmgr
+
+# Regenerate BENCH_shards.json (metadata ops/sec and lock-wait per op
+# across shard counts on the Zipf many-files workload).
+shards-bench:
+	$(GO) run ./cmd/loadgen -shardbench
 
 ci: build vet staticcheck fmtcheck test race benchsmoke fuzz-smoke

@@ -10,11 +10,18 @@
 //
 // Results land in BENCH_serve.json (see README.md for how to read it).
 //
+// With -shardbench the command instead benchmarks the sharded metadata
+// plane: a many-files Zipf metadata workload hammered in-process at
+// each -shards count, writing metadata ops/sec and lock-wait per op to
+// BENCH_shards.json and failing unless throughput rises monotonically
+// with shard count.
+//
 // Usage:
 //
 //	loadgen [-codecs rs,pbrs,lrc] [-k K] [-r R] [-clients N] [-duration D]
 //	        [-files N] [-filesize BYTES] [-blocksize BYTES] [-racks N]
 //	        [-machines N] [-writefrac F] [-kill D] [-seed N] [-out FILE]
+//	loadgen -shardbench [-shards 1,4,16] [-duration D] [-seed N] [-out FILE]
 package main
 
 import (
@@ -44,12 +51,18 @@ func main() {
 	partialbench := flag.Bool("partialbench", false, "run each codec conventionally AND with partial-sum repair, comparing bytes at the reconstructing client (writes BENCH_partialsum.json)")
 	repairbench := flag.Bool("repairmgr", false, "benchmark the autonomous repair control plane: time-to-full-health after a kill, grace-window savings, foreground p99 under throttled vs unthrottled background repair, trace replay (writes BENCH_repairmgr.json)")
 	throttle := flag.Float64("throttle", 0, "repairmgr: background repair cap in bytes/sec (0 = harness default)")
+	shardbench := flag.Bool("shardbench", false, "benchmark the sharded metadata plane: Zipf metadata workload at each -shards count, gated on monotonic ops/sec scaling (writes BENCH_shards.json)")
+	shardCounts := flag.String("shards", "1,4,16", "shardbench: comma-separated metadata shard counts to measure, in order")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
-	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; "none" disables)`)
+	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; BENCH_shards.json with -shardbench; "none" disables)`)
 	flag.Parse()
 
 	if *repairbench && (*partialbench || *partialsum) {
 		fmt.Fprintln(os.Stderr, "loadgen: -repairmgr is mutually exclusive with -partialbench/-partialsum")
+		os.Exit(2)
+	}
+	if *shardbench && (*repairbench || *partialbench || *partialsum) {
+		fmt.Fprintln(os.Stderr, "loadgen: -shardbench is mutually exclusive with -repairmgr/-partialbench/-partialsum")
 		os.Exit(2)
 	}
 	outFile := *out
@@ -59,15 +72,20 @@ func main() {
 			outFile = "BENCH_partialsum.json"
 		case *repairbench:
 			outFile = "BENCH_repairmgr.json"
+		case *shardbench:
+			outFile = "BENCH_shards.json"
 		default:
 			outFile = "BENCH_serve.json"
 		}
 	}
 	var err error
-	if *repairbench {
+	switch {
+	case *shardbench:
+		err = runShardBench(*shardCounts, *duration, *seed, outFile)
+	case *repairbench:
 		err = runRepairMgrBench(*k, *r, *codecNames, *clients, *duration, *files, *filesize,
 			*blocksize, *racks, *machines, *throttle, *seed, outFile)
-	} else {
+	default:
 		err = run(*k, *r, *codecNames, *clients, *duration, *files, *filesize, *blocksize,
 			*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *seed, outFile)
 	}
@@ -120,6 +138,64 @@ func runRepairMgrBench(k, r int, codecNames string, clients int, duration time.D
 		fmt.Printf("results written to %s\n", outFile)
 	}
 	return nil
+}
+
+// runShardBench measures the sharded metadata plane: the identical
+// Zipf metadata workload (many tiny files, skewed reads, a write
+// share) hammered in-process at each shard count, then gated on the
+// acceptance criterion — metadata ops/sec must not fall as shards
+// rise, and no operation may error.
+func runShardBench(shardCounts string, duration time.Duration, seed int64, outFile string) error {
+	counts, err := parseShardCounts(shardCounts)
+	if err != nil {
+		return err
+	}
+	cfg := repro.ShardBenchConfig{
+		ShardCounts: counts,
+		Duration:    duration,
+		Seed:        seed,
+	}
+	fmt.Printf("Sharded-metadata benchmark: Zipf workload at %v shards, %v per count\n\n",
+		counts, duration)
+	rep, err := repro.RunShardBench(cfg)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(rep.FormatTable())
+
+	if err := rep.CheckScaling(); err != nil {
+		return err
+	}
+	fmt.Println("\nmetadata throughput scaled monotonically with shard count, zero op errors")
+
+	if outFile != "" && outFile != "none" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outFile)
+	}
+	return nil
+}
+
+// parseShardCounts parses the -shards list ("1,4,16").
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q (want a positive integer list like 1,4,16)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no shard counts given")
+	}
+	return counts, nil
 }
 
 // buildCodecs filters repro.StandardCodecs — the one place the

@@ -1,0 +1,125 @@
+// Package repro is the public API of a full reproduction of
+// "A Solution to the Network Challenges of Data Recovery in
+// Erasure-coded Distributed Storage Systems: A Study on the Facebook
+// Warehouse Cluster" (Rashmi et al., HotStorage 2013).
+//
+// The package exposes three layers:
+//
+//   - Codecs: NewRS (the production baseline), NewPiggybackedRS (the
+//     paper's contribution — same storage, same fault tolerance, ~30%
+//     cheaper single-block recovery) and NewLRC (the §5 related-work
+//     baseline). All satisfy the Codec interface, including repair
+//     planning (which byte ranges a recovery reads) and repair
+//     execution over a caller-supplied fetch function.
+//
+//   - The measurement study: GenerateTrace builds a failure trace
+//     calibrated to the paper's published statistics, RunStudy costs it
+//     under a codec (Fig. 3a, Fig. 3b), CompareCodecs reproduces the
+//     §3.2 projection ("close to fifty terabytes per day"), and
+//     MissingBlockDistribution reproduces the §2.2 single-failure
+//     dominance (98.08% / 1.87% / 0.05%).
+//
+//   - Substrates: NewMiniHDFS builds an in-process HDFS + HDFS-RAID
+//     model with rack-aware placement, a RaidNode, a BlockFixer, and
+//     degraded reads, all charging cross-rack traffic to a switch-level
+//     network model; MTTDLYears implements the §3.2 reliability
+//     analysis.
+//
+// The API surface is organised into one file per layer: codecs.go
+// (codecs and shard helpers), engine.go (the concurrent execution
+// engine and partial-sum fold trees), study.go (the measurement study,
+// contention model, reliability, layout, and regenerating-code
+// bounds), substrate.go (the MiniHDFS cluster substrate and the
+// sharded metadata plane), serve_api.go (the networked serving layer
+// and its benchmarks), and controlplane.go (the autonomous repair
+// control plane).
+//
+// # Execution engine
+//
+// All codec execution — encode, reconstruct, repair — runs on fused,
+// cache-chunked GF(2^8) kernels (gf256.MulAddSlices), and batches of
+// stripe jobs run concurrently on the stripe-repair engine: NewEngine
+// builds a bounded worker pool (the parallelism knob, surfaced as
+// -parallelism on cmd/repaircost) with per-worker scratch-buffer reuse;
+// RunRepairs and RunEncodes execute batches with output byte-identical
+// to serial execution. The BlockFixer of NewMiniHDFS routes its stripe
+// repairs through the same engine (Config.RepairParallelism).
+// cmd/repaircost -engine measures batch repair throughput across
+// parallelism levels and emits machine-readable BENCH_engine.json for
+// trend tracking; see README.md for how to run and interpret it.
+//
+// # Contention model
+//
+// The analytic study costs each repair in isolation; the contention
+// layer costs them against each other. RunContentionStudy replays a
+// trace through an event-driven fluid-flow fabric (FabricTopology: NIC,
+// TOR, and aggregation-switch capacities; max-min fair sharing with
+// priority classes) behind a repair scheduler (PolicyFIFO,
+// PolicySmallestFirst, PolicyPriorityLanes) while closed-loop
+// foreground map-reduce load keeps the core saturated, yielding p50/p99
+// repair latency and degraded-read slowdown per codec.
+// cmd/repaircost -contention writes the RS versus Piggybacked-RS
+// head-to-head to BENCH_contention.json, and a MiniHDFS configured with
+// HDFSConfig.Fabric timestamps its BlockFixer passes through the same
+// model.
+//
+// # Serving layer
+//
+// The contention model simulates load; the serving layer serves it.
+// StartServeSystem brings the MiniHDFS up as a real networked service
+// on localhost TCP — a namenode daemon for metadata/placement/fixer
+// control and one datanode daemon per machine for replica range reads,
+// speaking a small framed RPC protocol — and DialServe returns a
+// client whose read path transparently falls back to degraded reads:
+// when a block's holder is gone (or dies mid-transfer), the client
+// fetches the stripe layout, downloads the codec's repair-plan ranges
+// from the surviving datanodes, and reconstructs the block locally.
+// RunServeLoad / RunServeBench drive a closed-loop load generator
+// (configurable clients, read/write mix, mid-run datanode kill)
+// against the live cluster, reporting client-visible throughput,
+// p50/p99 latency, and the degraded-read share per codec;
+// cmd/loadgen and cmd/repaircost -serve write the results to
+// BENCH_serve.json.
+//
+// # Partial-sum repair
+//
+// Conventional repair concentrates the whole recovery download on the
+// reconstructing node's NIC — the paper's bottleneck. Because every
+// codec here is linear over GF(2^8), each repair is expressible as a
+// LinearPlan (helper range × coefficient → target offset), and the
+// arithmetic can migrate into the helpers: PlanAggregationTree builds
+// a rack-aware fold tree (intra-rack helpers fold at one local
+// aggregator before crossing the TOR; rack aggregators fold pairwise),
+// each helper multiply-accumulates its ranges, XORs in its children's
+// partial sums, and forwards ONE block-sized buffer. The serving layer
+// implements this as a dn.partial RPC (DialServe with
+// WithPartialSumRepair), the BlockFixer behind
+// HDFSConfig.PartialSumRepair, and the contention model behind
+// ContentionConfig.PartialSums; RunServePartialSumBench and
+// cmd/loadgen -partialbench write the conventional-versus-partial
+// comparison to BENCH_partialsum.json, and cmd/repaircost -contention
+// reports the corresponding p99 repair-latency relief.
+//
+// # Sharded metadata plane
+//
+// A single MiniHDFS serialises every metadata operation behind one
+// lock — fine for the paper's repair studies, a bottleneck for
+// many-files serving workloads. OpenMiniHDFS with WithShards(n > 1)
+// partitions the file→stripe metadata into n independent shards behind
+// the Metadata interface: files route to shards by a seeded consistent
+// hash of their parent directory (stable across restarts, and keeping
+// each directory subtree shard-local), block and stripe IDs are minted
+// strided so id→shard routing is arithmetic, and each shard owns its
+// own lock, rng, block-fixer pass, and scrubber cursor while all
+// shards share one physical plane (datanodes plus the switch-level
+// network). Cross-shard operations — FixStripes, ReReplicateBlocks,
+// MachineInventory, machine death — fan out and merge; merged fixer
+// reports measure cross-rack traffic once around the whole fan-out so
+// the shared fabric is never double-counted. Serving and the repair
+// control plane consume only the Metadata / MetadataView / RepairOps /
+// AdminOps interfaces, so every layer runs unchanged against either a
+// single Cluster or a ShardedCluster. RunShardBench drives a
+// many-files Zipf metadata workload across shard counts, and
+// cmd/loadgen -shardbench writes metadata ops/sec and lock-wait per op
+// to BENCH_shards.json.
+package repro

@@ -173,12 +173,23 @@ type Config struct {
 	// Replication is the replica count for un-raided files (3 in the
 	// paper's cluster).
 	Replication int
-	// Seed drives placement randomness.
+	// Seed drives placement randomness and, for a sharded cluster, the
+	// file-to-shard consistent hash.
 	Seed int64
+	// Shards partitions the metadata plane: files are assigned to one
+	// of Shards independent metadata shards by seeded consistent hash,
+	// each with its own metadata lock, placement rng, fixer pass,
+	// scrubber cursor, and repair queue. 0 or 1 selects the single
+	// Cluster; Open returns a ShardedCluster for Shards > 1. Prefer
+	// WithShards(n).
+	Shards int
 	// RepairParallelism bounds how many stripe repairs the BlockFixer
 	// executes concurrently through the stripe-repair engine; 0 selects
 	// GOMAXPROCS. Repaired bytes and traffic accounting are identical
 	// at any setting.
+	//
+	// Deprecated: prefer WithRepairParallelism(n); the field keeps
+	// working.
 	RepairParallelism int
 	// PartialSumRepair routes single-block stripe repairs through the
 	// distributed partial-sum pipeline when the codec supports linear
@@ -189,6 +200,9 @@ type Config struct {
 	// block-sized transfer per tree edge instead of a fan-in), which is
 	// the point. Multi-block fixes and pipeline failures fall back to
 	// the conventional fan-in transparently.
+	//
+	// Deprecated: prefer WithPartialSumRepair(); the field keeps
+	// working.
 	PartialSumRepair bool
 	// Fabric, when non-nil, supplies link capacities for a netsim
 	// contention model: every BlockFixer pass replays its stripe
@@ -201,6 +215,8 @@ type Config struct {
 	// explicitly for results reproducible across machines (0 follows
 	// GOMAXPROCS); the bound used is recorded in
 	// FixReport.SimulatedParallelism.
+	//
+	// Deprecated: prefer WithFabric(t); the field keeps working.
 	Fabric *netsim.Topology
 }
 
@@ -208,6 +224,9 @@ type Config struct {
 func (c Config) Validate() error {
 	if err := c.Topology.Validate(); err != nil {
 		return err
+	}
+	if c.Shards < 0 {
+		return errors.New("hdfs: Shards must be >= 0")
 	}
 	if c.Code == nil {
 		return errors.New("hdfs: Code is required")
@@ -267,6 +286,18 @@ type Cluster struct {
 	nodes []*dataNode
 	eng   *engine.Engine
 
+	// idStride spaces block and stripe id allocation so a shard of a
+	// ShardedCluster mints ids congruent to its index modulo the shard
+	// count — the routing rule for id-addressed operations. A
+	// standalone Cluster allocates densely (base 0, stride 1).
+	idStride int64
+
+	// lockWaitNanos accumulates time metadata operations spent WAITING
+	// to acquire mu (read or write mode), and metaOps counts them —
+	// the contention signal BENCH_shards.json reports per shard count.
+	lockWaitNanos atomic.Int64
+	metaOps       atomic.Int64
+
 	rngMu   sync.Mutex
 	rng     *rand.Rand
 	fixerMu sync.Mutex
@@ -284,29 +315,100 @@ type Cluster struct {
 	scrubCursor int
 }
 
-// New builds an empty cluster.
-func New(cfg Config) (*Cluster, error) {
+// New builds an empty cluster. For a sharded metadata plane use
+// Open (or NewSharded) with Config.Shards > 1.
+func New(cfg Config, opts ...Option) (*Cluster, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("hdfs: New builds a single metadata shard; use Open or NewSharded for Shards=%d", cfg.Shards)
 	}
 	net, err := cluster.NewNetwork(cfg.Topology)
 	if err != nil {
 		return nil, err
 	}
-	nodes := make([]*dataNode, cfg.Topology.Machines())
+	return newShard(cfg, net, newDataNodes(cfg.Topology.Machines()), 0, 1), nil
+}
+
+// Open builds the metadata plane cfg asks for: a single Cluster when
+// Shards <= 1, a ShardedCluster otherwise. Callers that only need the
+// Metadata surface should prefer it over New/NewSharded.
+func Open(cfg Config, opts ...Option) (Metadata, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Shards > 1 {
+		return NewSharded(cfg)
+	}
+	return New(cfg)
+}
+
+// newDataNodes builds the physical stores — shared across every
+// metadata shard of a ShardedCluster.
+func newDataNodes(n int) []*dataNode {
+	nodes := make([]*dataNode, n)
 	for i := range nodes {
 		nodes[i] = &dataNode{id: i, alive: true, blocks: make(map[BlockID][]byte)}
 	}
+	return nodes
+}
+
+// newShard builds one metadata shard over (possibly shared) datanodes
+// and network fabric, allocating block/stripe ids from base with the
+// given stride.
+func newShard(cfg Config, net *cluster.Network, nodes []*dataNode, base, stride int64) *Cluster {
 	return &Cluster{
-		cfg:     cfg,
-		net:     net,
-		nodes:   nodes,
-		eng:     engine.New(engine.Options{Parallelism: cfg.RepairParallelism}),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		files:   make(map[string]*fileMeta),
-		blocks:  make(map[BlockID]*blockMeta),
-		stripes: make(map[StripeID]*stripeMeta),
-	}, nil
+		cfg:        cfg,
+		net:        net,
+		nodes:      nodes,
+		eng:        engine.New(engine.Options{Parallelism: cfg.RepairParallelism}),
+		idStride:   stride,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		files:      make(map[string]*fileMeta),
+		blocks:     make(map[BlockID]*blockMeta),
+		stripes:    make(map[StripeID]*stripeMeta),
+		nextBlock:  BlockID(base),
+		nextStripe: StripeID(base),
+	}
+}
+
+// lockMeta / rlockMeta acquire the metadata mutex, charging the wait
+// to the lock-contention counters the shard benchmark reports. Only
+// the serving-path entry points use them; internal re-acquisitions
+// (engine execution phases) take mu directly.
+func (c *Cluster) lockMeta() {
+	t := time.Now()
+	c.mu.Lock()
+	c.lockWaitNanos.Add(int64(time.Since(t)))
+	c.metaOps.Add(1)
+}
+
+func (c *Cluster) rlockMeta() {
+	t := time.Now()
+	c.mu.RLock()
+	c.lockWaitNanos.Add(int64(time.Since(t)))
+	c.metaOps.Add(1)
+}
+
+// LockStats is the metadata-lock contention summary: how long serving
+// operations waited to acquire the metadata lock, and how many
+// acquisitions that covers. A ShardedCluster reports the sum across
+// its shards.
+type LockStats struct {
+	// WaitNanos is cumulative time spent blocked acquiring the
+	// metadata lock (read + write mode) on the instrumented paths.
+	WaitNanos int64
+	// Acquisitions counts the instrumented acquisitions.
+	Acquisitions int64
+}
+
+// LockStats returns the cumulative metadata-lock contention counters.
+func (c *Cluster) LockStats() LockStats {
+	return LockStats{WaitNanos: c.lockWaitNanos.Load(), Acquisitions: c.metaOps.Load()}
 }
 
 // Network exposes the byte-accounting fabric.
@@ -354,7 +456,7 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 	if len(data) == 0 {
 		return errors.New("hdfs: empty file")
 	}
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	if _, ok := c.files[name]; ok {
 		return fmt.Errorf("%w: %s", ErrFileExists, name)
@@ -367,7 +469,7 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 			end = int64(len(data))
 		}
 		id := c.nextBlock
-		c.nextBlock++
+		c.nextBlock += BlockID(c.idStride)
 		bm := &blockMeta{
 			id:       id,
 			file:     name,
@@ -453,7 +555,7 @@ func (c *Cluster) liveLocations(bm *blockMeta) []int {
 // metadata lock in read mode, so any number of healthy reads and
 // degraded reconstructions run in parallel.
 func (c *Cluster) ReadFile(name string) ([]byte, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -621,7 +723,7 @@ func (c *Cluster) raidStripeLocked(group []BlockID) error {
 	}
 
 	sid := c.nextStripe
-	c.nextStripe++
+	c.nextStripe += StripeID(c.idStride)
 	sm := &stripeMeta{id: sid, shardSize: shardSize, blocks: make([]BlockID, width)}
 	for pos := range sm.blocks {
 		sm.blocks[pos] = -1
@@ -663,7 +765,7 @@ func (c *Cluster) raidStripeLocked(group []BlockID) error {
 	for j := 0; j < width-k; j++ {
 		pos := k + j
 		id := c.nextBlock
-		c.nextBlock++
+		c.nextBlock += BlockID(c.idStride)
 		dst := placement[pos]
 		if err := c.net.Transfer(encoder, dst, shardSize); err != nil {
 			return err
@@ -1401,7 +1503,7 @@ type FileInfo struct {
 
 // Stat returns a file's metadata.
 func (c *Cluster) Stat(name string) (FileInfo, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -1413,7 +1515,7 @@ func (c *Cluster) Stat(name string) (FileInfo, error) {
 // BlockLocations returns, for each block of the file, the machines
 // currently holding live replicas.
 func (c *Cluster) BlockLocations(name string) ([][]int, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -1429,7 +1531,7 @@ func (c *Cluster) BlockLocations(name string) ([][]int, error) {
 // StripeOf returns the stripe id and position of a file's block, or
 // noStripe if the file is not raided.
 func (c *Cluster) StripeOf(name string, blockIndex int) (StripeID, int, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -1548,7 +1650,7 @@ type BlockInfo struct {
 // — the read-path handshake of the serving layer. Like ReadFile, it
 // counts as an access for the raid policy.
 func (c *Cluster) FileBlocks(name string) (int64, []BlockInfo, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -1589,7 +1691,7 @@ type StripeDetail struct {
 // client needs to execute a degraded read: per-position block ids,
 // sizes, and live locations, plus the shard size the codec decodes at.
 func (c *Cluster) Stripe(id StripeID) (StripeDetail, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	sm, ok := c.stripes[id]
 	if !ok {
@@ -1690,7 +1792,7 @@ func (c *Cluster) MachineInventory(m int) MachineInventory {
 // the repair manager's health registry resolves scrub-affected blocks
 // through it. The boolean reports whether the block exists.
 func (c *Cluster) BlockInfoByID(id BlockID) (BlockInfo, bool) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	bm, ok := c.blocks[id]
 	if !ok {
@@ -1713,7 +1815,7 @@ func (c *Cluster) Replication() int { return c.cfg.Replication }
 // replica — the quantity the repair manager's health registry tracks
 // against the codec's tolerance.
 func (c *Cluster) StripeErasures(id StripeID) (int, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	sm, ok := c.stripes[id]
 	if !ok {

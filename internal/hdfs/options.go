@@ -1,0 +1,70 @@
+package hdfs
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ec"
+	"repro/internal/netsim"
+)
+
+// Option mutates a Config before validation. New, NewSharded, and Open
+// accept options after the base Config, so call sites migrate knob by
+// knob:
+//
+//	md, err := hdfs.Open(cfg, hdfs.WithShards(4), hdfs.WithRepairParallelism(2))
+//
+// Options win over the corresponding (deprecated) struct fields because
+// they apply last.
+type Option func(*Config)
+
+// WithTopology sets the rack/machine layout.
+func WithTopology(t cluster.Topology) Option {
+	return func(c *Config) { c.Topology = t }
+}
+
+// WithCode sets the erasure codec used by the RaidNode.
+func WithCode(code ec.Code) Option {
+	return func(c *Config) { c.Code = code }
+}
+
+// WithBlockSize sets the maximum block payload.
+func WithBlockSize(n int64) Option {
+	return func(c *Config) { c.BlockSize = n }
+}
+
+// WithReplication sets the replica count for un-raided files.
+func WithReplication(n int) Option {
+	return func(c *Config) { c.Replication = n }
+}
+
+// WithSeed sets the seed driving placement randomness and the
+// file-to-shard consistent hash.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithShards partitions the metadata plane into n independently locked
+// shards (see Config.Shards). Open returns a ShardedCluster for n > 1.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithRepairParallelism bounds concurrent stripe repairs in the
+// BlockFixer's engine; 0 selects GOMAXPROCS. Replaces the deprecated
+// Config.RepairParallelism field.
+func WithRepairParallelism(n int) Option {
+	return func(c *Config) { c.RepairParallelism = n }
+}
+
+// WithPartialSumRepair routes single-block stripe repairs through the
+// distributed partial-sum pipeline. Replaces the deprecated
+// Config.PartialSumRepair field.
+func WithPartialSumRepair() Option {
+	return func(c *Config) { c.PartialSumRepair = true }
+}
+
+// WithFabric supplies link capacities for the netsim contention model
+// replayed by every BlockFixer pass. Replaces the deprecated
+// Config.Fabric field.
+func WithFabric(t *netsim.Topology) Option {
+	return func(c *Config) { c.Fabric = t }
+}

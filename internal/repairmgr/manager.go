@@ -143,13 +143,27 @@ type Status struct {
 	Completed []CompletedRepair
 }
 
-// Manager is the autonomous repair control plane over one cluster.
+// lane is the per-shard slice of the control plane: one health
+// registry and one repair queue over one metadata shard, so triage and
+// draining for unrelated shards never contend on shared maps. A
+// single-shard cluster has exactly one lane.
+type lane struct {
+	shard hdfs.Metadata
+	reg   *Registry
+	queue *Queue
+}
+
+// Manager is the autonomous repair control plane over one metadata
+// plane — a Cluster or a ShardedCluster; it consumes the hdfs.Metadata
+// interface and never the concrete type. Detection stays global
+// (machines are not shardable); triage and queueing split into one
+// lane per metadata shard, discovered through hdfs.ShardRouter.
 type Manager struct {
 	cfg     Config
-	cluster *hdfs.Cluster
+	cluster hdfs.Metadata
 	det     *Detector
-	reg     *Registry
-	queue   *Queue
+	lanes   []*lane
+	router  hdfs.ShardRouter
 	bucket  *TokenBucket
 
 	width, tolerance int // codec geometry
@@ -189,9 +203,12 @@ type suspectEstimate struct {
 	bytes   int64
 }
 
-// New builds a manager over the cluster. It does not start the control
-// loop; call Start, or drive Poll directly.
-func New(cluster *hdfs.Cluster, cfg Config) (*Manager, error) {
+// New builds a manager over the metadata plane. When cluster is a
+// ShardedCluster (anything satisfying hdfs.ShardRouter), the manager
+// builds one registry+queue lane per shard; otherwise one lane covers
+// everything. It does not start the control loop; call Start, or drive
+// Poll directly.
+func New(cluster hdfs.Metadata, cfg Config) (*Manager, error) {
 	if cluster == nil {
 		return nil, errors.New("repairmgr: cluster is required")
 	}
@@ -207,18 +224,49 @@ func New(cluster *hdfs.Cluster, cfg Config) (*Manager, error) {
 		cfg:        cfg,
 		cluster:    cluster,
 		det:        det,
-		reg:        NewRegistry(cluster),
-		queue:      NewQueue(QueueConfig{AgingTier: cfg.AgingTier}),
 		bucket:     NewTokenBucket(cfg.RepairBytesPerSec, cfg.RepairBurstBytes, now),
 		width:      code.TotalShards(),
 		tolerance:  code.ParityShards(),
 		dataShards: code.DataShards(),
 		suspects:   make(map[int]suspectEstimate),
 	}
+	if router, ok := cluster.(hdfs.ShardRouter); ok && router.Shards() > 1 {
+		m.router = router
+		for i := 0; i < router.Shards(); i++ {
+			shard := router.Shard(i)
+			m.lanes = append(m.lanes, &lane{
+				shard: shard,
+				reg:   NewRegistry(shard),
+				queue: NewQueue(QueueConfig{AgingTier: cfg.AgingTier}),
+			})
+		}
+	} else {
+		m.lanes = []*lane{{
+			shard: cluster,
+			reg:   NewRegistry(cluster),
+			queue: NewQueue(QueueConfig{AgingTier: cfg.AgingTier}),
+		}}
+	}
 	if cfg.ScrubInterval > 0 {
 		m.nextScrub = now.Add(cfg.ScrubInterval)
 	}
 	return m, nil
+}
+
+// laneForStripe returns the lane owning the stripe id.
+func (m *Manager) laneForStripe(id hdfs.StripeID) *lane {
+	if m.router == nil {
+		return m.lanes[0]
+	}
+	return m.lanes[m.router.ShardOfStripe(id)]
+}
+
+// laneForBlock returns the lane owning the block id.
+func (m *Manager) laneForBlock(id hdfs.BlockID) *lane {
+	if m.router == nil {
+		return m.lanes[0]
+	}
+	return m.lanes[m.router.ShardOfBlock(id)]
 }
 
 // Start launches the live control loop.
@@ -314,27 +362,47 @@ func (m *Manager) Poll() error {
 
 	m.maybeScrub(now)
 
-	var firstErr error
-	for {
-		m.mu.Lock()
-		paused := m.paused
-		m.mu.Unlock()
-		if paused {
-			break
-		}
-		task, ok := m.queue.Peek()
-		if !ok {
-			break
-		}
-		if !m.bucket.Ready(task.Bytes, m.cfg.Clock()) {
-			break
-		}
-		m.queue.Pop()
-		if err := m.execute(task); err != nil && firstErr == nil {
-			firstErr = err
+	m.mu.Lock()
+	paused := m.paused
+	m.mu.Unlock()
+	if paused {
+		return nil
+	}
+
+	// Drain every lane in parallel: lanes own disjoint metadata shards,
+	// so their repairs never contend on a metadata lock; the shared
+	// token bucket still paces the aggregate. Ready/Spend on the bucket
+	// are not one atomic reservation, so concurrent lanes can overshoot
+	// the burst by at most one repair each — the same slack a real
+	// multi-writer throttle has.
+	errs := make([]error, len(m.lanes))
+	var wg sync.WaitGroup
+	for i, ln := range m.lanes {
+		wg.Add(1)
+		go func(i int, ln *lane) {
+			defer wg.Done()
+			for {
+				task, ok := ln.queue.Peek()
+				if !ok {
+					return
+				}
+				if !m.bucket.Ready(task.Bytes, m.cfg.Clock()) {
+					return
+				}
+				ln.queue.Pop()
+				if err := m.execute(ln, task); err != nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}(i, ln)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // handleTransition routes one detector transition into the registry
@@ -374,24 +442,27 @@ func (m *Manager) handleTransition(tr Transition, now time.Time) {
 	}
 }
 
-// examineAndEnqueue reconciles the queue with the registry's fresh view
-// of one machine's inventory.
+// examineAndEnqueue reconciles every lane's queue with its registry's
+// fresh view of one machine's inventory — a machine death touches
+// stripes in every shard, so all lanes examine it.
 func (m *Manager) examineAndEnqueue(machine int, now time.Time) {
-	stripes, blocks := m.reg.ExamineMachine(machine)
-	for _, h := range stripes {
-		m.reconcileStripe(h, now)
-	}
-	for _, h := range blocks {
-		m.reconcileBlock(h, now)
+	for _, ln := range m.lanes {
+		stripes, blocks := ln.reg.ExamineMachine(machine)
+		for _, h := range stripes {
+			m.reconcileStripe(ln, h, now)
+		}
+		for _, h := range blocks {
+			m.reconcileBlock(ln, h, now)
+		}
 	}
 }
 
-// reconcileStripe turns one stripe-health change into a queue upsert
-// or cancellation.
-func (m *Manager) reconcileStripe(h StripeHealth, now time.Time) {
+// reconcileStripe turns one stripe-health change into a lane-queue
+// upsert or cancellation.
+func (m *Manager) reconcileStripe(ln *lane, h StripeHealth, now time.Time) {
 	t := Task{Kind: TaskStripe, Stripe: h.Stripe}
 	if h.Erasures == 0 {
-		m.queue.Remove(t.Key())
+		ln.queue.Remove(t.Key())
 		return
 	}
 	t.Erasures = h.Erasures
@@ -399,20 +470,20 @@ func (m *Manager) reconcileStripe(h StripeHealth, now time.Time) {
 	t.Bytes = h.ShardSize * int64(m.dataShards)
 	t.Risk = m.lossRisk(m.width, m.tolerance, h.Erasures, float64(t.Bytes))
 	t.Enqueued = now
-	m.queue.Upsert(t)
+	ln.queue.Upsert(t)
 }
 
-// reconcileBlock turns one replicated-block-health change into a queue
-// upsert or cancellation. Blocks with no surviving replica are lost,
-// not repairable: counted, never queued.
-func (m *Manager) reconcileBlock(h BlockHealth, now time.Time) {
+// reconcileBlock turns one replicated-block-health change into a
+// lane-queue upsert or cancellation. Blocks with no surviving replica
+// are lost, not repairable: counted, never queued.
+func (m *Manager) reconcileBlock(ln *lane, h BlockHealth, now time.Time) {
 	t := Task{Kind: TaskReplicated, Block: h.Block}
 	if h.MissingReplicas == 0 {
-		m.queue.Remove(t.Key())
+		ln.queue.Remove(t.Key())
 		return
 	}
 	if h.LiveReplicas == 0 {
-		m.queue.Remove(t.Key())
+		ln.queue.Remove(t.Key())
 		m.mu.Lock()
 		m.lostBlocks++
 		m.mu.Unlock()
@@ -424,7 +495,7 @@ func (m *Manager) reconcileBlock(h BlockHealth, now time.Time) {
 	t.Bytes = h.Size * int64(h.MissingReplicas)
 	t.Risk = m.lossRisk(target, target-1, h.MissingReplicas, float64(t.Bytes))
 	t.Enqueued = now
-	m.queue.Upsert(t)
+	ln.queue.Upsert(t)
 }
 
 // estimateMachineRepair sizes the repair work THIS machine's death
@@ -451,7 +522,7 @@ func (m *Manager) estimateMachineRepair(machine int) (repairs int, bytes int64) 
 				continue
 			}
 			seen[info.Stripe] = true
-			if m.queue.Contains((&Task{Kind: TaskStripe, Stripe: info.Stripe}).Key()) {
+			if m.laneForStripe(info.Stripe).queue.Contains((&Task{Kind: TaskStripe, Stripe: info.Stripe}).Key()) {
 				continue
 			}
 			detail, err := m.cluster.Stripe(info.Stripe)
@@ -476,7 +547,7 @@ func (m *Manager) estimateMachineRepair(machine int) (repairs int, bytes int64) 
 				ours = true
 			}
 		}
-		if ours || m.queue.Contains((&Task{Kind: TaskReplicated, Block: bid}).Key()) {
+		if ours || m.laneForBlock(bid).queue.Contains((&Task{Kind: TaskReplicated, Block: bid}).Key()) {
 			continue
 		}
 		repairs++
@@ -545,26 +616,37 @@ func (m *Manager) maybeScrub(now time.Time) {
 	if len(rep.AffectedBlocks) == 0 {
 		return
 	}
-	stripes, blocks := m.reg.ExamineBlocks(rep.AffectedBlocks)
-	for _, h := range stripes {
-		m.reconcileStripe(h, now)
+	// Route each affected block to the lane owning it, then let each
+	// lane's registry triage its own group.
+	byLane := make(map[*lane][]hdfs.BlockID)
+	for _, bid := range rep.AffectedBlocks {
+		ln := m.laneForBlock(bid)
+		byLane[ln] = append(byLane[ln], bid)
 	}
-	for _, h := range blocks {
-		m.reconcileBlock(h, now)
+	for ln, group := range byLane {
+		stripes, blocks := ln.reg.ExamineBlocks(group)
+		for _, h := range stripes {
+			m.reconcileStripe(ln, h, now)
+		}
+		for _, h := range blocks {
+			m.reconcileBlock(ln, h, now)
+		}
 	}
 }
 
-// execute runs one popped task against the cluster and accounts it.
-func (m *Manager) execute(task Task) error {
+// execute runs one popped task against the owning shard and accounts
+// it. Running on the lane's shard (not the whole cluster) keeps
+// parallel lane drains contention-free.
+func (m *Manager) execute(ln *lane, task Task) error {
 	var (
 		rep *hdfs.FixReport
 		err error
 	)
 	switch task.Kind {
 	case TaskStripe:
-		rep, err = m.cluster.FixStripes([]hdfs.StripeID{task.Stripe})
+		rep, err = ln.shard.FixStripes([]hdfs.StripeID{task.Stripe})
 	case TaskReplicated:
-		rep, err = m.cluster.ReReplicateBlocks([]hdfs.BlockID{task.Block})
+		rep, err = ln.shard.ReReplicateBlocks([]hdfs.BlockID{task.Block})
 	default:
 		return fmt.Errorf("repairmgr: unknown task kind %v", task.Kind)
 	}
@@ -585,14 +667,14 @@ func (m *Manager) execute(task Task) error {
 		done.Unrecoverable = len(rep.Unrecoverable) > 0
 		m.bucket.Spend(rep.CrossRackBytes, now)
 	}
-	// Refresh the registry so a clean repair clears its entry and a
-	// partial one stays visible (it re-enqueues when the next event
-	// touches it).
+	// Refresh the lane's registry so a clean repair clears its entry
+	// and a partial one stays visible (it re-enqueues when the next
+	// event touches it).
 	switch task.Kind {
 	case TaskStripe:
-		m.reg.MarkStripeRepaired(task.Stripe)
+		ln.reg.MarkStripeRepaired(task.Stripe)
 	case TaskReplicated:
-		m.reg.MarkBlockRepaired(task.Block)
+		ln.reg.MarkBlockRepaired(task.Block)
 	}
 	m.mu.Lock()
 	m.completedSeq++
@@ -610,18 +692,32 @@ func (m *Manager) execute(task Task) error {
 	return err
 }
 
-// QueueDepth returns the number of pending repairs.
-func (m *Manager) QueueDepth() int { return m.queue.Len() }
+// QueueDepth returns the number of pending repairs across all lanes.
+func (m *Manager) QueueDepth() int {
+	depth := 0
+	for _, ln := range m.lanes {
+		depth += ln.queue.Len()
+	}
+	return depth
+}
 
-// Status snapshots the control plane.
+// Lanes returns the number of shard lanes the manager drains.
+func (m *Manager) Lanes() int { return len(m.lanes) }
+
+// Status snapshots the control plane, merged across lanes.
 func (m *Manager) Status() Status {
 	s := Status{
 		Nodes:               m.det.Snapshot(),
-		QueueDepth:          m.queue.Len(),
-		QueueByErasures:     m.queue.DepthsByErasures(),
-		DegradedStripes:     m.reg.DegradedStripes(),
-		DegradedBlocks:      m.reg.DegradedBlocks(),
+		QueueByErasures:     make(map[int]int),
 		ThrottleBytesPerSec: m.bucket.Rate(),
+	}
+	for _, ln := range m.lanes {
+		s.QueueDepth += ln.queue.Len()
+		for erasures, n := range ln.queue.DepthsByErasures() {
+			s.QueueByErasures[erasures] += n
+		}
+		s.DegradedStripes += ln.reg.DegradedStripes()
+		s.DegradedBlocks += ln.reg.DegradedBlocks()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -35,16 +35,19 @@ type BlockHealth struct {
 }
 
 // Registry tracks known degradations against the cluster's metadata.
+// It consumes the read-only MetadataView, so a registry can sit over a
+// whole cluster or over one shard of a ShardedCluster — the manager
+// runs one per shard lane.
 type Registry struct {
-	cluster *hdfs.Cluster
+	cluster hdfs.MetadataView
 
 	mu      sync.Mutex
 	stripes map[hdfs.StripeID]int // known erasure counts (> 0)
 	blocks  map[hdfs.BlockID]int  // known missing-replica counts (> 0)
 }
 
-// NewRegistry builds an empty registry over the cluster.
-func NewRegistry(cluster *hdfs.Cluster) *Registry {
+// NewRegistry builds an empty registry over the metadata view.
+func NewRegistry(cluster hdfs.MetadataView) *Registry {
 	return &Registry{
 		cluster: cluster,
 		stripes: make(map[hdfs.StripeID]int),

@@ -28,7 +28,7 @@ import (
 
 // DataNode is one machine's serving daemon.
 type DataNode struct {
-	cluster *hdfs.Cluster
+	cluster hdfs.MetadataView
 	machine int
 	srv     *server
 
@@ -41,7 +41,7 @@ type DataNode struct {
 
 // startDataNode launches the daemon for one machine on an ephemeral
 // localhost port.
-func startDataNode(cluster *hdfs.Cluster, machine int) (*DataNode, error) {
+func startDataNode(cluster hdfs.MetadataView, machine int) (*DataNode, error) {
 	d := &DataNode{cluster: cluster, machine: machine}
 	srv, err := newServer(d.handle)
 	if err != nil {

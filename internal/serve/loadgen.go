@@ -57,7 +57,14 @@ type LoadConfig struct {
 	// the distributed partial-sum pipeline (one folded block from the
 	// helper tree) instead of the conventional helper fan-in, and
 	// enables the same pipeline in the cluster's BlockFixer.
+	//
+	// Deprecated: prefer WithLoadPartialSumRepair(); the field keeps
+	// working.
 	PartialSumRepair bool
+	// Shards partitions the namenode's metadata plane (see
+	// hdfs.Config.Shards); 0 or 1 serves from a single Cluster. Prefer
+	// WithLoadShards(n).
+	Shards int
 	// Seed drives placement, content, and the operation mix.
 	Seed int64
 
@@ -162,7 +169,10 @@ func fileContent(seed int64, name string, size int64) []byte {
 // mid-run kill is the machine holding the first preloaded file's first
 // data block, so its loss is guaranteed to turn working-set reads
 // degraded.
-func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
+func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	cfg = cfg.withDefaults(code)
 	sys, err := Start(hdfs.Config{
 		Topology:         cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
@@ -171,6 +181,7 @@ func RunLoad(code ec.Code, cfg LoadConfig) (*LoadResult, error) {
 		Replication:      cfg.Replication,
 		Seed:             cfg.Seed,
 		PartialSumRepair: cfg.PartialSumRepair,
+		Shards:           cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -74,7 +74,7 @@ type control interface {
 
 // NameNode is the metadata daemon.
 type NameNode struct {
-	cluster *hdfs.Cluster
+	cluster hdfs.Metadata
 	code    ec.Code
 	bs      int64
 	ctl     control
@@ -86,7 +86,7 @@ type NameNode struct {
 // mgr, when non-nil, is the repair control plane the namenode fronts:
 // dn.heartbeat frames feed its failure detector and repair.status
 // exposes its queue/node/throttle state.
-func startNameNode(cluster *hdfs.Cluster, code ec.Code, blockSize int64, ctl control, mgr *repairmgr.Manager) (*NameNode, error) {
+func startNameNode(cluster hdfs.Metadata, code ec.Code, blockSize int64, ctl control, mgr *repairmgr.Manager) (*NameNode, error) {
 	n := &NameNode{cluster: cluster, code: code, bs: blockSize, ctl: ctl, mgr: mgr}
 	srv, err := newServer(n.handle)
 	if err != nil {

@@ -1,0 +1,71 @@
+// Functional options for the serve layer's config structs. The struct
+// fields keep working (they are the underlying representation); options
+// compose at call sites without zero-value ambiguity:
+//
+//	res, err := serve.RunLoad(code, serve.LoadConfig{},
+//		serve.WithLoadShards(4), serve.WithLoadClients(8))
+package serve
+
+import "time"
+
+// LoadOption mutates a LoadConfig before defaulting.
+type LoadOption func(*LoadConfig)
+
+// WithLoadShards serves the workload from a metadata plane of n shards
+// (see hdfs.Config.Shards). Replaces setting LoadConfig.Shards.
+func WithLoadShards(n int) LoadOption {
+	return func(c *LoadConfig) { c.Shards = n }
+}
+
+// WithLoadClients sets the closed-loop worker count.
+func WithLoadClients(n int) LoadOption {
+	return func(c *LoadConfig) { c.Clients = n }
+}
+
+// WithLoadDuration sets the measured run length.
+func WithLoadDuration(d time.Duration) LoadOption {
+	return func(c *LoadConfig) { c.Duration = d }
+}
+
+// WithLoadWriteFraction sets the write probability (negative for a
+// pure-read workload).
+func WithLoadWriteFraction(f float64) LoadOption {
+	return func(c *LoadConfig) { c.WriteFraction = f }
+}
+
+// WithLoadSeed sets the placement/content/mix seed.
+func WithLoadSeed(seed int64) LoadOption {
+	return func(c *LoadConfig) { c.Seed = seed }
+}
+
+// WithLoadPartialSumRepair serves degraded reads through the
+// partial-sum pipeline. Replaces the deprecated
+// LoadConfig.PartialSumRepair field.
+func WithLoadPartialSumRepair() LoadOption {
+	return func(c *LoadConfig) { c.PartialSumRepair = true }
+}
+
+// WithLoadKillAfter arms the mid-run datanode kill (negative
+// disables).
+func WithLoadKillAfter(d time.Duration) LoadOption {
+	return func(c *LoadConfig) { c.KillAfter = d }
+}
+
+// RepairMgrBenchOption mutates a RepairMgrBenchConfig before
+// defaulting.
+type RepairMgrBenchOption func(*RepairMgrBenchConfig)
+
+// WithBenchThrottle sets scenario 3's token-bucket cap in bytes/sec.
+func WithBenchThrottle(bytesPerSec float64) RepairMgrBenchOption {
+	return func(c *RepairMgrBenchConfig) { c.ThrottleBytesPerSec = bytesPerSec }
+}
+
+// WithBenchSeed sets the placement/content seed.
+func WithBenchSeed(seed int64) RepairMgrBenchOption {
+	return func(c *RepairMgrBenchConfig) { c.Seed = seed }
+}
+
+// WithBenchTraceDays shapes scenario 4's failure-trace replay.
+func WithBenchTraceDays(days int) RepairMgrBenchOption {
+	return func(c *RepairMgrBenchConfig) { c.TraceDays = days }
+}

@@ -439,7 +439,10 @@ func loadUnderRepair(code ec.Code, cfg RepairMgrBenchConfig, throttle float64) (
 
 // RunRepairMgrBench measures the control plane per codec and replays
 // the failure trace through its policies.
-func RunRepairMgrBench(codecs []ec.Code, cfg RepairMgrBenchConfig) (*RepairMgrBenchReport, error) {
+func RunRepairMgrBench(codecs []ec.Code, cfg RepairMgrBenchConfig, opts ...RepairMgrBenchOption) (*RepairMgrBenchReport, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if len(codecs) == 0 {
 		return nil, errors.New("serve: no codecs to bench")
 	}

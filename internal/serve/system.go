@@ -1,5 +1,6 @@
 // System wires a full serving cluster together on localhost: one
-// hdfs.Cluster as the storage substrate, one datanode daemon per
+// hdfs metadata plane (a single Cluster, or a ShardedCluster when
+// Config.Shards > 1) as the storage substrate, one datanode daemon per
 // machine, and one namenode fronting the metadata — each on its own
 // TCP port. It is also the failure injector: KillDataNode marks the
 // machine dead at the namenode AND tears down its daemon with every
@@ -44,7 +45,7 @@ func WithHeartbeatInterval(d time.Duration) Option {
 
 // System is a running serving cluster.
 type System struct {
-	cluster *hdfs.Cluster
+	cluster hdfs.Metadata
 	code    ec.Code
 	nn      *NameNode
 	mgr     *repairmgr.Manager // nil when the control plane is disabled
@@ -62,7 +63,7 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cluster, err := hdfs.New(cfg)
+	cluster, err := hdfs.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,9 +127,11 @@ func (s *System) RepairManager() *repairmgr.Manager { return s.mgr }
 // needs.
 func (s *System) NameAddr() string { return s.nn.Addr() }
 
-// Cluster exposes the storage substrate for in-process inspection
-// (tests, victim selection in the load generator).
-func (s *System) Cluster() *hdfs.Cluster { return s.cluster }
+// Cluster exposes the storage substrate's metadata plane for
+// in-process inspection (tests, victim selection in the load
+// generator). Callers get the hdfs.Metadata interface — the substrate
+// may be a single Cluster or a ShardedCluster.
+func (s *System) Cluster() hdfs.Metadata { return s.cluster }
 
 // Code returns the cluster's codec.
 func (s *System) Code() ec.Code { return s.code }

@@ -1,0 +1,150 @@
+// The networked serving layer: the live TCP cluster (namenode +
+// datanode daemons), the degraded-read client, the closed-loop load
+// generator, and the serving benchmarks (including the sharded-
+// metadata benchmark behind BENCH_shards.json).
+
+package repro
+
+import (
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ServeSystem is a live serving cluster: a metadata plane (MiniHDFS or
+// ShardedMiniHDFS, per HDFSConfig.Shards) behind a namenode daemon and
+// per-machine datanode daemons on localhost TCP. It doubles as the
+// failure injector: KillDataNode severs a datanode's connections
+// mid-frame and fails the machine; RestartDataNode brings it back on a
+// fresh port.
+type ServeSystem = serve.System
+
+// ServeClient is a serving-layer client. Its read path rotates across
+// replicas and transparently reconstructs missing blocks through the
+// codec's repair plan, fetching helper ranges over the wire.
+type ServeClient = serve.Client
+
+// ServeCounters are a client's cumulative operation counts, including
+// how many block reads took the degraded path.
+type ServeCounters = serve.Counters
+
+// ServeFixReport summarises a block-fixer pass driven over the wire.
+type ServeFixReport = serve.FixReport
+
+// LoadConfig parameterises the closed-loop load generator; the zero
+// value is runnable.
+type LoadConfig = serve.LoadConfig
+
+// LoadResult is one codec's measured serving behaviour under load:
+// throughput, p50/p99 latency, degraded-read share, errors.
+type LoadResult = serve.LoadResult
+
+// ServeBenchReport is the machine-readable BENCH_serve.json payload.
+type ServeBenchReport = serve.BenchReport
+
+// ServeOption configures a serving system at Start.
+type ServeOption = serve.Option
+
+// LoadOption mutates a LoadConfig before defaulting — the functional-
+// options face of the load generator.
+type LoadOption = serve.LoadOption
+
+// WithLoadShards serves the workload from a metadata plane of n
+// shards. Replaces setting LoadConfig.Shards.
+func WithLoadShards(n int) LoadOption { return serve.WithLoadShards(n) }
+
+// WithLoadClients sets the closed-loop worker count.
+func WithLoadClients(n int) LoadOption { return serve.WithLoadClients(n) }
+
+// WithLoadDuration sets the measured run length.
+func WithLoadDuration(d time.Duration) LoadOption { return serve.WithLoadDuration(d) }
+
+// WithLoadWriteFraction sets the write probability (negative for a
+// pure-read workload).
+func WithLoadWriteFraction(f float64) LoadOption { return serve.WithLoadWriteFraction(f) }
+
+// WithLoadSeed sets the placement/content/mix seed.
+func WithLoadSeed(seed int64) LoadOption { return serve.WithLoadSeed(seed) }
+
+// WithLoadPartialSumRepair serves degraded reads through the
+// partial-sum pipeline. Replaces the deprecated
+// LoadConfig.PartialSumRepair field.
+func WithLoadPartialSumRepair() LoadOption { return serve.WithLoadPartialSumRepair() }
+
+// WithLoadKillAfter arms the mid-run datanode kill (negative
+// disables).
+func WithLoadKillAfter(d time.Duration) LoadOption { return serve.WithLoadKillAfter(d) }
+
+// StartServeSystem builds the storage cluster and brings up its
+// namenode and datanode daemons (plus, with WithRepairManager, the
+// repair control plane). Close the system to release the listeners.
+func StartServeSystem(cfg HDFSConfig, opts ...ServeOption) (*ServeSystem, error) {
+	return serve.Start(cfg, opts...)
+}
+
+// ServeClientOption configures a serving-layer client at dial time.
+type ServeClientOption = serve.ClientOption
+
+// WithPartialSumRepair makes a client's degraded reads run through the
+// distributed partial-sum pipeline: the codec's linear repair plan is
+// shipped to the helpers as a rack-aware fold tree and the client
+// downloads ONE folded block instead of ~k helper ranges. Failures
+// fall back to the conventional fan-in transparently.
+func WithPartialSumRepair() ServeClientOption { return serve.WithPartialSumRepair() }
+
+// DialServe connects a client to a serving cluster's namenode. code
+// must match the cluster's codec: degraded reads decode locally (or,
+// with WithPartialSumRepair, in the helper tree).
+func DialServe(nameAddr string, code Codec, opts ...ServeClientOption) (*ServeClient, error) {
+	return serve.Dial(nameAddr, code, opts...)
+}
+
+// RunServeLoad starts a serving cluster for the codec, preloads and
+// raids a working set, and drives the closed-loop load (including the
+// configured mid-run datanode kill).
+func RunServeLoad(code Codec, cfg LoadConfig, opts ...LoadOption) (*LoadResult, error) {
+	return serve.RunLoad(code, cfg, opts...)
+}
+
+// RunServeBench runs the identical closed-loop load under each codec
+// in turn on a shared configuration.
+func RunServeBench(codecs []Codec, cfg LoadConfig) (*ServeBenchReport, error) {
+	return serve.RunBench(codecs, cfg)
+}
+
+// ServePartialSumBenchReport is the machine-readable
+// BENCH_partialsum.json payload: per codec, the identical kill-mid-run
+// workload served conventionally and through the partial-sum pipeline,
+// with the bytes each degraded block pulled into the reconstructing
+// client.
+type ServePartialSumBenchReport = serve.PartialSumBenchReport
+
+// RunServePartialSumBench runs each codec's load twice — conventional
+// degraded reads, then partial-sum — on one shared configuration.
+func RunServePartialSumBench(codecs []Codec, cfg LoadConfig) (*ServePartialSumBenchReport, error) {
+	return serve.RunPartialSumBench(codecs, cfg)
+}
+
+// --- Sharded-metadata benchmark ----------------------------------------
+
+// ShardBenchConfig parameterises the sharded-metadata benchmark: a
+// many-files Zipf metadata workload driven in-process against the
+// Metadata plane at each configured shard count. The zero value runs
+// the default workload at 1, 4, and 16 shards.
+type ShardBenchConfig = serve.ShardBenchConfig
+
+// ShardBenchRow is one shard count's measurement: metadata ops/sec,
+// op errors, and the metadata-lock wait (total and per op).
+type ShardBenchRow = serve.ShardBenchRow
+
+// ShardBenchReport is the machine-readable BENCH_shards.json payload.
+// CheckScaling is its acceptance gate (no errors, ops/sec
+// non-decreasing in shard count); FormatTable renders the comparison.
+type ShardBenchReport = serve.ShardBenchReport
+
+// RunShardBench measures the Zipf metadata workload at every
+// configured shard count; cmd/loadgen -shardbench writes the result to
+// BENCH_shards.json.
+func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
+	return serve.RunShardBench(cfg)
+}
