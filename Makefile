@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
+.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,32 @@ build:
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs when installed (CI installs it); skipped locally
-# otherwise so `make ci` works on a bare toolchain.
+# staticcheck runs when installed; skipped locally otherwise so
+# `make ci` works on a bare toolchain. CI sets STATICCHECK_REQUIRED=1
+# (after installing it), which turns a missing binary into a failure
+# instead of a skip — the check cannot be silently lost there.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$STATICCHECK_REQUIRED" ]; then \
+		echo "staticcheck required (STATICCHECK_REQUIRED set) but not installed"; exit 1; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Project-invariant analyzers (internal/analysis, cmd/repolint): lock
+# discipline, layering, clock injection, wire-path framing, alloc-free
+# kernels. Two gates: the real tree must be clean, and the broken
+# fixture tree must trip EVERY analyzer (so none can go silent). The
+# binary is cached in bin/ and rebuilt only when its sources change.
+REPOLINT := bin/repolint
+
+$(REPOLINT): $(wildcard cmd/repolint/*.go) $(wildcard internal/analysis/*.go) go.mod
+	$(GO) build -o $(REPOLINT) ./cmd/repolint
+
+lint: $(REPOLINT)
+	$(REPOLINT) -root .
+	$(REPOLINT) -root internal/analysis/testdata/fixture -expect-all
 
 # fmt rewrites; fmtcheck is the CI gate.
 fmt:
@@ -38,18 +56,15 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -n 1
 
-# Race detector on the concurrency-sensitive packages: the stripe-repair
-# engine, the simulator (analytic and contention studies), the netsim
-# fabric, the mini-HDFS (RWMutex metadata + per-datanode locks under
-# concurrent readers/writers/fixer + partial-sum fold tasks), and the
-# TCP serving layer. The serving layer and the repair control plane run
-# twice (-count=2): their tests synchronize on progress (fake clocks,
-# status polling), not wall-clock sleeps, and repeating them
-# back-to-back is the regression gate for that flakiness class. The
-# sharded-metadata property tests and the concurrency storms (single
-# and 4-shard planes, cross-shard writes) also repeat under -race.
+# Race detector over the whole module, then extra repeats where the
+# concurrency lives: the serving layer and the repair control plane run
+# twice more (-count=2) because their tests synchronize on progress
+# (fake clocks, status polling), not wall-clock sleeps, and repeating
+# them back-to-back is the regression gate for that flakiness class.
+# The sharded-metadata property tests and the concurrency storms
+# (single and 4-shard planes, cross-shard writes) also repeat.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/sim/... ./internal/netsim/... ./internal/hdfs/...
+	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/serve/... ./internal/repairmgr/...
 	$(GO) test -race -count=2 -run 'TestShard|TestConcurrent' ./internal/hdfs/
 
@@ -117,4 +132,4 @@ repairmgr-bench:
 shards-bench:
 	$(GO) run ./cmd/loadgen -shardbench
 
-ci: build vet staticcheck fmtcheck test race benchsmoke fuzz-smoke
+ci: build vet staticcheck lint fmtcheck test race benchsmoke fuzz-smoke

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/fixture"
+
+// Every analyzer must fire at least once on the deliberately broken
+// fixture tree — an analyzer that silently stops matching after a
+// refactor fails here (and in CI, which runs the -expect-all gate).
+func TestFixtureFiresEveryAnalyzer(t *testing.T) {
+	diags, err := Run(fixtureRoot, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]int{}
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range analysis.All() {
+		if fired[a.Name()] == 0 {
+			t.Errorf("analyzer %s matched nothing in the fixture tree", a.Name())
+		}
+	}
+}
+
+// The real module must be clean: every violation fixed or carrying a
+// justified //repolint:ignore. This is the same gate `make lint` runs.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := Run("../..", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestExpectAllExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", fixtureRoot, "-expect-all"}, &out, &errb); code != 0 {
+		t.Errorf("-expect-all on fixture tree: exit %d, stderr %q", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// The clean repo must FAIL the fixture gate: every analyzer is silent.
+	if code := run([]string{"-root", "../..", "-expect-all"}, &out, &errb); code != 1 {
+		t.Errorf("-expect-all on clean repo: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "gone silent") {
+		t.Errorf("missing silent-analyzer report, stderr %q", errb.String())
+	}
+}
+
+func TestPlainRunExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", "../.."}, &out, &errb); code != 0 {
+		t.Errorf("clean repo: exit %d, findings:\n%s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-root", fixtureRoot}, &out, &errb)
+	if code != 1 {
+		t.Errorf("fixture tree: exit %d, want 1", code)
+	}
+	// Diagnostics carry the file:line:col: [analyzer] shape.
+	if !strings.Contains(out.String(), "bad.go:") || !strings.Contains(out.String(), "[lockdiscipline]") {
+		t.Errorf("fixture findings missing file:line/analyzer tags:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name()) {
+			t.Errorf("-list output missing %s", a.Name())
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// clockInject keeps internal/repairmgr off the wall clock: every
+// timestamp flows through the injected Clock (Config.Clock), so
+// failure-detector timelines are driven exactly by table tests with a
+// fake clock — no sleeps, no flaky deadlines. Reading time.Now (or any
+// implicit-now helper: Since, Until, After, Sleep, Tick, NewTimer)
+// anywhere else in the package smuggles wall time past the injection
+// point. The single allowed site is withDefaults, where a nil Clock is
+// documented to default to time.Now.
+//
+// time.NewTicker is deliberately not in the set: the live Run loop's
+// poll cadence is wall-clock by design (it only decides when Poll
+// runs; every timestamp Poll consumes still comes from Clock).
+type clockInject struct{}
+
+// ClockInject returns the clockinject analyzer.
+func ClockInject() Analyzer { return clockInject{} }
+
+func (clockInject) Name() string { return "clockinject" }
+
+func (clockInject) Doc() string {
+	return "repairmgr reads time only through the injected Clock (withDefaults owns the time.Now default)"
+}
+
+// clockTargetPath is the package the rule applies to.
+const clockTargetPath = "repro/internal/repairmgr"
+
+// wallClockFuncs are the time package members that read or act on the
+// wall clock implicitly.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+}
+
+// clockDefaultFunc is the one function allowed to name time.Now: the
+// documented nil-Clock default.
+const clockDefaultFunc = "withDefaults"
+
+func (a clockInject) Check(pkg *Package) []Diagnostic {
+	if pkg.ImportPath != clockTargetPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		local, ok := importLocalName(f.AST, "time")
+		if !ok {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && fd.Recv == nil && fd.Name.Name == clockDefaultFunc {
+				continue
+			}
+			// Method form of withDefaults counts too.
+			if isFunc && fd.Name.Name == clockDefaultFunc {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok || base.Name != local || !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				diags = append(diags, diag(pkg, a.Name(), sel.Pos(),
+					"wall-clock time.%s in repairmgr: inject it through Config.Clock so detector timelines stay table-testable",
+					sel.Sel.Name))
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// lockDiscipline enforces the metadata-mutex rules of internal/hdfs:
+//
+//  1. Every acquisition of a Cluster's metadata mutex goes through the
+//     instrumented lockMeta/rlockMeta helpers (which charge lock-wait
+//     to the contention counters BENCH_shards.json reports). A raw
+//     recv.mu.Lock()/recv.mu.RLock() inside a Cluster method is a
+//     finding, except inside the helpers themselves.
+//  2. The PR 3 phased-fixer rule: no engine execution or codec
+//     encode/decode call may run while the metadata lock is held. A
+//     fixer pass plans under the lock, decodes with it released, and
+//     applies under the lock; holding it across a decode serialises
+//     every foreground read behind reconstruction.
+//
+// Unlock/RUnlock calls are not findings — only acquisitions are
+// instrumented — and per-datanode leaf locks (node.mu) are out of
+// scope: the rule keys on the method receiver, so only the metadata
+// mutex of the enclosing Cluster/ShardedCluster method is matched.
+type lockDiscipline struct{}
+
+// LockDiscipline returns the lockdiscipline analyzer.
+func LockDiscipline() Analyzer { return lockDiscipline{} }
+
+func (lockDiscipline) Name() string { return "lockdiscipline" }
+
+func (lockDiscipline) Doc() string {
+	return "hdfs metadata mutex: acquire via lockMeta/rlockMeta only, and never decode while holding it"
+}
+
+// lockTargetPath is the package the discipline applies to.
+const lockTargetPath = "repro/internal/hdfs"
+
+// lockRecvTypes are the receiver types whose mu is the metadata mutex.
+var lockRecvTypes = map[string]bool{"Cluster": true, "ShardedCluster": true}
+
+// lockHelperFuncs are the blessed acquisition helpers.
+var lockHelperFuncs = map[string]bool{"lockMeta": true, "rlockMeta": true}
+
+// decodeCalls are the engine-execution and codec calls that must never
+// run under the metadata lock.
+var decodeCalls = map[string]bool{
+	"RunRepairs":         true,
+	"RunEncodes":         true,
+	"RunTasks":           true,
+	"Encode":             true,
+	"Decode":             true,
+	"ExecuteRepair":      true,
+	"ExecuteMultiRepair": true,
+}
+
+func (a lockDiscipline) Check(pkg *Package) []Diagnostic {
+	if pkg.ImportPath != lockTargetPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, recvType := recvInfo(fd)
+			if recv == "" || !lockRecvTypes[recvType] {
+				continue
+			}
+			diags = append(diags, a.checkFunc(pkg, fd, recv)...)
+		}
+	}
+	return diags
+}
+
+// lockEvent is one lock-relevant point in a function body, replayed in
+// source order to simulate the held/released state.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 acquire, 1 release, 2 decode call
+	name string
+}
+
+// checkFunc walks one Cluster method. Each function literal inside it
+// is simulated as its own scope (a closure's body runs later, under
+// whatever lock state its caller establishes), but the raw-acquisition
+// rule applies everywhere.
+func (a lockDiscipline) checkFunc(pkg *Package, fd *ast.FuncDecl, recv string) []Diagnostic {
+	var diags []Diagnostic
+	helper := lockHelperFuncs[fd.Name.Name]
+	muLock := recv + ".mu.Lock"
+	muRLock := recv + ".mu.RLock"
+	muUnlock := recv + ".mu.Unlock"
+	muRUnlock := recv + ".mu.RUnlock"
+	helperLock := recv + ".lockMeta"
+	helperRLock := recv + ".rlockMeta"
+
+	// Collect each scope's events. Scope 0 is the method body; every
+	// FuncLit opens a new scope keyed by its position.
+	scopes := map[token.Pos][]lockEvent{}
+	var scopeOf func(n ast.Node, scope token.Pos, inDefer bool)
+	scopeOf = func(root ast.Node, scope token.Pos, inDefer bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x.Pos() == scope {
+					return true // the scope's own literal: walk its body
+				}
+				scopeOf(x, x.Pos(), false)
+				return false
+			case *ast.DeferStmt:
+				// A deferred Unlock releases at function exit, not at
+				// its source position: record nothing, the lock stays
+				// held for the rest of the scope.
+				scopeOf(x.Call, scope, true)
+				return false
+			case *ast.CallExpr:
+				path := calleePath(x)
+				switch path {
+				case muLock, muRLock:
+					if !helper {
+						diags = append(diags, diag(pkg, a.Name(), x.Pos(),
+							"raw %s: metadata-mutex acquisitions go through %s.lockMeta/%s.rlockMeta so lock waits are instrumented", path, recv, recv))
+					}
+					if !inDefer {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 0, path})
+					}
+				case helperLock, helperRLock:
+					if !inDefer {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 0, path})
+					}
+				case muUnlock, muRUnlock:
+					if !inDefer {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 1, path})
+					}
+				default:
+					if name := calleeName(x); decodeCalls[name] && !isBuiltinLike(x) {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 2, name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	scopeOf(fd.Body, fd.Body.Pos(), false)
+
+	// Replay each scope in source order. The walk above visits nested
+	// statements in position order for straight-line code; branches
+	// make this an over-approximation (an Unlock inside an if arm
+	// clears the simulated state), which in practice matches how the
+	// fixer code is written: lock...unlock sequences are linear.
+	for _, events := range scopes {
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		depth := 0
+		for _, e := range events {
+			switch e.kind {
+			case 0:
+				depth++
+			case 1:
+				if depth > 0 {
+					depth--
+				}
+			case 2:
+				if depth > 0 {
+					diags = append(diags, diag(pkg, a.Name(), e.pos,
+						"%s called while holding the metadata mutex: plan under the lock, decode with it released, apply under the lock", e.name))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isBuiltinLike filters calls whose callee is a lone identifier naming
+// a decode-set member — those are local helpers, not engine/codec
+// method calls, and the set only contains method names.
+func isBuiltinLike(call *ast.CallExpr) bool {
+	_, isIdent := call.Fun.(*ast.Ident)
+	return isIdent
+}

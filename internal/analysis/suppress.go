@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression is one parsed //repolint:ignore directive.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// used records whether the suppression matched a diagnostic; the
+	// driver reports stale suppressions so they cannot rot in place.
+	used bool
+}
+
+// metaAnalyzer names the diagnostics the suppression machinery itself
+// produces (malformed directives, stale directives). They cannot be
+// suppressed.
+const metaAnalyzer = "repolint"
+
+// ignoreRe matches the directive body after "//repolint:ignore".
+var ignoreRe = regexp.MustCompile(`^//\s*repolint:ignore(?:\s+(\S+))?(?:\s+(.*\S))?\s*$`)
+
+// CollectSuppressions parses every //repolint:ignore directive in the
+// package. Malformed directives (missing analyzer, missing reason, or
+// naming an unknown analyzer) are returned as diagnostics: a
+// suppression without a written justification is itself a finding.
+func CollectSuppressions(pkg *Package, known []Analyzer) ([]*Suppression, []Diagnostic) {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name()] = true
+	}
+	var sups []*Suppression
+	var probs []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "repolint:ignore") {
+					continue
+				}
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case m[1] == "":
+					probs = append(probs, Diagnostic{Pos: pos, Analyzer: metaAnalyzer,
+						Message: "repolint:ignore needs an analyzer name and a reason"})
+				case !names[m[1]]:
+					probs = append(probs, Diagnostic{Pos: pos, Analyzer: metaAnalyzer,
+						Message: "repolint:ignore names unknown analyzer " + m[1]})
+				case m[2] == "":
+					probs = append(probs, Diagnostic{Pos: pos, Analyzer: metaAnalyzer,
+						Message: "repolint:ignore " + m[1] + " needs a written reason"})
+				default:
+					sups = append(sups, &Suppression{Pos: pos, Analyzer: m[1], Reason: m[2]})
+				}
+			}
+		}
+	}
+	return sups, probs
+}
+
+// ApplySuppressions filters diags through the directives: a diagnostic
+// is dropped when a matching-analyzer suppression sits on the same
+// line, or on the line directly above (the own-line directive form).
+// It returns the surviving diagnostics.
+func ApplySuppressions(diags []Diagnostic, sups []*Suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]*Suppression, len(sups))
+	for _, s := range sups {
+		index[key{s.Pos.Filename, s.Pos.Line, s.Analyzer}] = s
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == metaAnalyzer {
+			out = append(out, d)
+			continue
+		}
+		if s, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			s.used = true
+			continue
+		}
+		if s, ok := index[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+			s.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// StaleSuppressions returns a diagnostic for every suppression that
+// matched nothing — the analyzer got fixed or the code moved, so the
+// directive (and its stale justification) must go.
+func StaleSuppressions(sups []*Suppression) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range sups {
+		if !s.used {
+			out = append(out, Diagnostic{Pos: s.Pos, Analyzer: metaAnalyzer,
+				Message: "stale repolint:ignore " + s.Analyzer + ": no matching finding on this or the next line"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc wraps one source string as a single-file Package. The
+// malformed-directive cases live here rather than in the golden files
+// because a `// want` tail on a reason-less directive would itself be
+// parsed as the reason.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		ImportPath: "example.com/p",
+		Dir:        ".",
+		Fset:       fset,
+		Files:      []*File{{Name: "src.go", AST: f}},
+	}
+}
+
+func TestCollectSuppressionsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		directive string
+		problem   string
+	}{
+		{"no analyzer", "//repolint:ignore", "needs an analyzer name and a reason"},
+		{"no reason", "//repolint:ignore noalloc", "repolint:ignore noalloc needs a written reason"},
+		{"unknown analyzer", "//repolint:ignore nosuchrule because reasons", "unknown analyzer nosuchrule"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := parseSrc(t, "package p\n\n"+tc.directive+"\nfunc f() {}\n")
+			sups, probs := CollectSuppressions(pkg, All())
+			if len(sups) != 0 {
+				t.Errorf("malformed directive parsed as a suppression: %+v", sups[0])
+			}
+			if len(probs) != 1 {
+				t.Fatalf("got %d problems, want 1: %v", len(probs), probs)
+			}
+			if p := probs[0]; p.Analyzer != metaAnalyzer || !strings.Contains(p.Message, tc.problem) {
+				t.Errorf("problem = [%s] %q, want [%s] containing %q", p.Analyzer, p.Message, metaAnalyzer, tc.problem)
+			}
+		})
+	}
+}
+
+func TestCollectSuppressionsWellFormed(t *testing.T) {
+	pkg := parseSrc(t, "package p\n\n//repolint:ignore noalloc the pool refill is the point\nfunc f() {}\n")
+	sups, probs := CollectSuppressions(pkg, All())
+	if len(probs) != 0 {
+		t.Fatalf("unexpected problems: %v", probs)
+	}
+	if len(sups) != 1 {
+		t.Fatalf("got %d suppressions, want 1", len(sups))
+	}
+	s := sups[0]
+	if s.Analyzer != "noalloc" || s.Reason != "the pool refill is the point" || s.Pos.Line != 3 {
+		t.Errorf("parsed suppression = %+v", s)
+	}
+}
+
+func TestApplySuppressionsLinePlacement(t *testing.T) {
+	sup := func(line int) *Suppression {
+		return &Suppression{
+			Pos:      token.Position{Filename: "src.go", Line: line},
+			Analyzer: "noalloc",
+			Reason:   "r",
+		}
+	}
+	d := func(line int, az string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "src.go", Line: line}, Analyzer: az, Message: "m"}
+	}
+
+	// Same line and line-above both suppress; two lines above, another
+	// file's line, or another analyzer's finding do not.
+	sups := []*Suppression{sup(10), sup(20)}
+	in := []Diagnostic{
+		d(10, "noalloc"), // same line as sup(10)
+		d(21, "noalloc"), // line below sup(20)
+		d(22, "noalloc"), // two below sup(20): survives
+		d(10, "framecheck"),
+		{Pos: token.Position{Filename: "other.go", Line: 10}, Analyzer: "noalloc", Message: "m"},
+	}
+	out := ApplySuppressions(in, sups)
+	if len(out) != 3 {
+		t.Fatalf("got %d surviving diagnostics, want 3: %v", len(out), out)
+	}
+	if stale := StaleSuppressions(sups); len(stale) != 0 {
+		t.Errorf("both suppressions matched, but got stale findings: %v", stale)
+	}
+}
+
+func TestMetaDiagnosticsCannotBeSuppressed(t *testing.T) {
+	sups := []*Suppression{{
+		Pos:      token.Position{Filename: "src.go", Line: 5},
+		Analyzer: metaAnalyzer,
+		Reason:   "trying to silence the suppressor",
+	}}
+	in := []Diagnostic{{
+		Pos:      token.Position{Filename: "src.go", Line: 5},
+		Analyzer: metaAnalyzer,
+		Message:  "stale repolint:ignore",
+	}}
+	out := ApplySuppressions(in, sups)
+	if len(out) != 1 {
+		t.Fatalf("meta diagnostic was suppressed: %v", out)
+	}
+}
+
+func TestStaleSuppressionReported(t *testing.T) {
+	sups := []*Suppression{{
+		Pos:      token.Position{Filename: "src.go", Line: 7},
+		Analyzer: "layering",
+		Reason:   "was needed once",
+	}}
+	_ = ApplySuppressions(nil, sups)
+	stale := StaleSuppressions(sups)
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "stale repolint:ignore layering") {
+		t.Fatalf("stale = %v", stale)
+	}
+}

@@ -1,0 +1,41 @@
+// Golden input for the clockinject analyzer, parsed as package
+// repro/internal/repairmgr.
+package repairmgr
+
+import "time"
+
+// Config mirrors the real package's injection point.
+type Config struct {
+	Clock func() time.Time
+}
+
+// withDefaults is the one documented site allowed to read the wall
+// clock: the nil-Clock default.
+func (c *Config) withDefaults() {
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+func (c *Config) poll() time.Duration {
+	start := time.Now()      // want "wall-clock time.Now in repairmgr"
+	return time.Since(start) // want "wall-clock time.Since in repairmgr"
+}
+
+func (c *Config) wait() {
+	<-time.After(time.Second) // want "wall-clock time.After in repairmgr"
+	//repolint:ignore clockinject golden example of a justified wall-clock read
+	time.Sleep(time.Millisecond)
+}
+
+// Assigning the function value smuggles wall time past the injection
+// point just as surely as calling it.
+func (c *Config) rebind() {
+	c.Clock = time.Now // want "wall-clock time.Now in repairmgr"
+}
+
+// NewTicker is deliberately outside the rule: it only decides when a
+// poll runs; every timestamp the poll consumes still comes from Clock.
+func (c *Config) cadence() *time.Ticker {
+	return time.NewTicker(time.Second)
+}

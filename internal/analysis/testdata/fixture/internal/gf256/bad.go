@@ -1,0 +1,10 @@
+// Fixture package: noalloc is deliberately violated so CI can assert
+// the analyzer still fires.
+package gf256
+
+func mulAddGrow(dst, src []byte, c byte) []byte {
+	for _, b := range src {
+		dst = append(dst, c&b) // noalloc: per-call allocation in a kernel
+	}
+	return dst
+}

@@ -1,0 +1,13 @@
+// Fixture package: clockinject is deliberately violated so CI can
+// assert the analyzer still fires.
+package repairmgr
+
+import "time"
+
+type detector struct {
+	lastSeen time.Time
+}
+
+func (d *detector) observe() {
+	d.lastSeen = time.Now() // clockinject: wall clock outside withDefaults
+}

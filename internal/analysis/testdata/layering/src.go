@@ -1,0 +1,28 @@
+// Golden input for the layering analyzer, parsed as package
+// repro/internal/sim (layer 5): same-rank and higher-rank imports are
+// upward, and the concrete metadata types are off limits.
+package sim
+
+import (
+	"repro/internal/hdfs"
+	"repro/internal/repairmgr" // want "upward import: repro/internal/sim .layer 5. imports repro/internal/repairmgr .layer 5."
+	"repro/internal/serve"     // want "upward import: repro/internal/sim .layer 5. imports repro/internal/serve .layer 6."
+)
+
+var _ = repairmgr.New
+var _ = serve.Dial
+
+// Concrete metadata types re-couple the consumer to one
+// implementation; the interface family keeps the sharded and
+// unsharded clusters interchangeable.
+type harness struct {
+	direct *hdfs.Cluster // want "concrete hdfs.Cluster reference"
+	meta   hdfs.Metadata
+}
+
+func newHarness(c *hdfs.ShardedCluster) *harness { // want "concrete hdfs.ShardedCluster reference"
+	//repolint:ignore layering golden example of a justified concrete reference
+	var keep *hdfs.Cluster
+	_ = keep
+	return &harness{meta: c}
+}

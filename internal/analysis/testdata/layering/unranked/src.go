@@ -1,0 +1,6 @@
+// Golden input for the layering analyzer's rank-map completeness rule:
+// this file is parsed as package repro/internal/scratchpad, which has
+// no entry in layerRank.
+package scratchpad // want "package repro/internal/scratchpad has no layer rank"
+
+func noop() {}

@@ -1,0 +1,49 @@
+// Golden input for the noalloc analyzer, parsed as package
+// repro/internal/gf256: every function is kernel code.
+package gf256
+
+// The kernel shape the rule protects: index arithmetic over
+// caller-owned slices, nothing else.
+func mulAdd(dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] ^= c & src[i]
+	}
+}
+
+func badAppend(dst, src []byte) []byte {
+	return append(dst, src...) // want "append in alloc-free hot path badAppend"
+}
+
+func badMake(n int) []byte {
+	return make([]byte, n) // want "make in alloc-free hot path badMake"
+}
+
+func badClosure(dst []byte) func() {
+	return func() { // want "closure in alloc-free hot path badClosure"
+		dst[0] = 0
+	}
+}
+
+func badMap() map[byte]byte {
+	return map[byte]byte{0: 1} // want "map literal in alloc-free hot path badMap"
+}
+
+// A justified exception: one-time table construction outside the
+// steady state, suppressed with its reason in place.
+func tableInit() []byte {
+	//repolint:ignore noalloc golden example: one-time table construction at package init, not per-call kernel work
+	return make([]byte, 256)
+}
+
+// A directive that matches nothing is itself a finding — the code it
+// excused was fixed, so the justification must go with it.
+//
+//repolint:ignore noalloc this justification went stale when the function below stopped allocating // want "stale repolint:ignore noalloc"
+func fixed(dst []byte) {
+	dst[0] = 1
+}
+
+// So is a directive naming an analyzer that does not exist.
+//
+//repolint:ignore typosquat the analyzer name is wrong // want "unknown analyzer typosquat"
+func alsoFine() {}

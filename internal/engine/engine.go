@@ -78,10 +78,12 @@ func (s *Scratch) Bytes(n int) []byte {
 		s.next++
 		return b
 	}
+	//repolint:ignore noalloc the arena miss path IS the pool refill; steady-state fetches take the reuse branch above
 	b := make([]byte, n)
 	if s.next < len(s.bufs) {
 		s.bufs[s.next] = b
 	} else {
+		//repolint:ignore noalloc arena growth amortises to zero once the pool reaches the batch's working set
 		s.bufs = append(s.bufs, b)
 	}
 	s.next++
@@ -149,6 +151,7 @@ func (e *Engine) runRepair(job *RepairJob, s *Scratch) RepairResult {
 		return RepairResult{Err: errNoFetch}
 	case fetch == nil:
 		into := job.FetchInto
+		//repolint:ignore noalloc one adapter closure per stripe job (not per fetch) is the price of landing every survivor read in pooled buffers
 		fetch = func(req ec.ReadRequest) ([]byte, error) {
 			buf := s.Bytes(int(req.Length))
 			// Zero the recycled buffer so a FetchInto that writes short
@@ -172,6 +175,7 @@ func (e *Engine) runRepair(job *RepairJob, s *Scratch) RepairResult {
 	// survivor reads the pool just saved allocating.
 	if job.FetchInto != nil {
 		for idx, shard := range shards {
+			//repolint:ignore noalloc documented copy-out: repaired shards must outlive the pooled arena they may alias (one shard per missing index, not per byte)
 			shards[idx] = append([]byte(nil), shard...)
 		}
 	}

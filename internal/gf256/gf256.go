@@ -208,31 +208,36 @@ func MulAddSlices(coeffs []byte, inputs [][]byte, out []byte) {
 	if len(coeffs) != len(inputs) {
 		panic("gf256: MulAddSlices coeffs/inputs length mismatch")
 	}
-	// Drop zero-coefficient inputs up front so the pairing below fuses
-	// only real work; validate lengths for all inputs regardless.
-	live := make([]int, 0, len(inputs))
-	for i, in := range inputs {
+	for _, in := range inputs {
 		if len(in) != len(out) {
 			panic("gf256: MulAddSlices input length mismatch")
 		}
-		if coeffs[i] != 0 {
-			live = append(live, i)
-		}
 	}
+	// Zero-coefficient inputs are skipped and the remaining live ones
+	// fused pairwise on the fly: pending holds a live input waiting for
+	// its pair partner. Re-scanning the coefficient vector per chunk is
+	// a handful of byte compares against 32 KiB of accumulate work, and
+	// keeps the kernel allocation-free (no index slice per call).
 	for lo := 0; lo < len(out); lo += fusedChunk {
 		hi := lo + fusedChunk
 		if hi > len(out) {
 			hi = len(out)
 		}
 		dst := out[lo:hi]
-		i := 0
-		for ; i+1 < len(live); i += 2 {
-			a, b := live[i], live[i+1]
-			mulAddPair(coeffs[a], inputs[a][lo:hi], coeffs[b], inputs[b][lo:hi], dst)
+		pending := -1
+		for i := range inputs {
+			if coeffs[i] == 0 {
+				continue
+			}
+			if pending < 0 {
+				pending = i
+				continue
+			}
+			mulAddPair(coeffs[pending], inputs[pending][lo:hi], coeffs[i], inputs[i][lo:hi], dst)
+			pending = -1
 		}
-		if i < len(live) {
-			a := live[i]
-			MulSliceXor(coeffs[a], inputs[a][lo:hi], dst)
+		if pending >= 0 {
+			MulSliceXor(coeffs[pending], inputs[pending][lo:hi], dst)
 		}
 	}
 }

@@ -377,9 +377,12 @@ func newShard(cfg Config, net *cluster.Network, nodes []*dataNode, base, stride 
 }
 
 // lockMeta / rlockMeta acquire the metadata mutex, charging the wait
-// to the lock-contention counters the shard benchmark reports. Only
-// the serving-path entry points use them; internal re-acquisitions
-// (engine execution phases) take mu directly.
+// to the lock-contention counters the shard benchmark reports. EVERY
+// metadata-mutex acquisition goes through them — repolint's
+// lockdiscipline analyzer enforces it — with one carved-out exception:
+// the per-read closures the engine's execution phase calls
+// (stripeAlive/stripeFetch), where charging each survivor fetch would
+// drown the serving-path contention signal.
 func (c *Cluster) lockMeta() {
 	t := time.Now()
 	c.mu.Lock()
@@ -641,7 +644,7 @@ func (c *Cluster) pickLiveMachine(excludeRacks map[int]bool) (int, error) {
 // stripes are padded with phantom all-zero blocks, exactly as HDFS-RAID
 // pads files whose block count is not a multiple of k.
 func (c *Cluster) RaidFile(name string) error {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	fm, ok := c.files[name]
 	if !ok {
@@ -821,6 +824,7 @@ func (c *Cluster) stripeAliveLocked(sm *stripeMeta) ec.AliveFunc {
 func (c *Cluster) stripeAlive(sm *stripeMeta) ec.AliveFunc {
 	inner := c.stripeAliveLocked(sm)
 	return func(pos int) bool {
+		//repolint:ignore lockdiscipline per-read closure on the engine execution path: charging every survivor fetch to LockStats would drown the serving-path contention signal
 		c.mu.RLock()
 		defer c.mu.RUnlock()
 		return inner(pos)
@@ -866,6 +870,7 @@ func (c *Cluster) stripeFetchLocked(sm *stripeMeta, dst int, record func(src int
 func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, bytes int64)) ec.FetchFunc {
 	inner := c.stripeFetchLocked(sm, dst, record)
 	return func(req ec.ReadRequest) ([]byte, error) {
+		//repolint:ignore lockdiscipline per-read closure on the engine execution path: charging every survivor fetch to LockStats would drown the serving-path contention signal
 		c.mu.RLock()
 		defer c.mu.RUnlock()
 		return inner(req)
@@ -891,14 +896,14 @@ func (c *Cluster) reconstructBlockLocked(bm *blockMeta, at int) ([]byte, error) 
 // (placement during WriteFile, fixer planning/application): a machine
 // cannot die between a placement's liveness check and its store.
 func (c *Cluster) FailMachine(id int) {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	c.nodes[id].setAlive(false)
 }
 
 // RestoreMachine brings a machine back with its blocks intact.
 func (c *Cluster) RestoreMachine(id int) {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	c.nodes[id].setAlive(true)
 }
@@ -906,7 +911,7 @@ func (c *Cluster) RestoreMachine(id int) {
 // DecommissionMachine permanently removes a machine: its blocks are
 // wiped before it is marked down, so even restoring it returns nothing.
 func (c *Cluster) DecommissionMachine(id int) {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	c.nodes[id].wipe()
 	c.nodes[id].setAlive(false)
@@ -963,7 +968,7 @@ type FixReport struct {
 func (c *Cluster) RunBlockFixer() (*FixReport, error) {
 	c.fixerMu.Lock()
 	defer c.fixerMu.Unlock()
-	c.mu.Lock()
+	c.lockMeta()
 	report := &FixReport{}
 	before := c.net.CrossRackBytes()
 
@@ -1093,7 +1098,7 @@ func (c *Cluster) repairStripes(lostByStripe map[StripeID][]*blockMeta, stripeOr
 	}
 	c.mu.Unlock()
 	c.eng.RunTasks(tasks)
-	c.mu.Lock()
+	c.lockMeta()
 	var applied []int
 	for i, f := range fixes {
 		if outcomes[i].err != nil {
@@ -1128,7 +1133,7 @@ func (c *Cluster) repairStripes(lostByStripe map[StripeID][]*blockMeta, stripeOr
 func (c *Cluster) FixStripes(ids []StripeID) (*FixReport, error) {
 	c.fixerMu.Lock()
 	defer c.fixerMu.Unlock()
-	c.mu.Lock()
+	c.lockMeta()
 	report := &FixReport{}
 	before := c.net.CrossRackBytes()
 	lostByStripe := make(map[StripeID][]*blockMeta)
@@ -1181,7 +1186,7 @@ func (c *Cluster) FixStripes(ids []StripeID) (*FixReport, error) {
 func (c *Cluster) ReReplicateBlocks(ids []BlockID) (*FixReport, error) {
 	c.fixerMu.Lock()
 	defer c.fixerMu.Unlock()
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	report := &FixReport{}
 	before := c.net.CrossRackBytes()
@@ -1236,7 +1241,7 @@ func (c *Cluster) executePartialFix(f *stripeFix, recordWire bool) (map[int][]by
 	lp := c.cfg.Code.(ec.LinearRepairPlanner)
 	sm := f.sm
 
-	c.mu.RLock()
+	c.rlockMeta()
 	plan, err := lp.PlanLinearRepair(pos, sm.shardSize, c.stripeAliveLocked(sm))
 	if err != nil {
 		c.mu.RUnlock()
@@ -1547,7 +1552,7 @@ func (c *Cluster) StripeOf(name string, blockIndex int) (StripeID, int, error) {
 // StripeRacks returns the racks hosting live blocks of the stripe —
 // tests use it to assert the one-rack-per-block invariant.
 func (c *Cluster) StripeRacks(id StripeID) ([]int, error) {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	sm, ok := c.stripes[id]
 	if !ok {
@@ -1583,7 +1588,7 @@ type ClusterStats struct {
 
 // Stats returns the cluster inventory.
 func (c *Cluster) Stats() ClusterStats {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	var s ClusterStats
 	for _, fm := range c.files {
@@ -1758,7 +1763,7 @@ func (c *Cluster) MachineInventory(m int) MachineInventory {
 	if m < 0 || m >= len(c.nodes) {
 		return MachineInventory{}
 	}
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	node := c.nodes[m]
 	node.mu.Lock()
@@ -1857,7 +1862,7 @@ func (h HealthSummary) Healthy() bool {
 
 // Health computes the availability summary.
 func (c *Cluster) Health() HealthSummary {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	var h HealthSummary
 	degraded := make(map[StripeID]bool)

@@ -33,7 +33,7 @@ func DefaultRaidPolicy() RaidPolicy { return RaidPolicy{ColdAge: DefaultColdAge}
 // AdvanceClock moves the cluster's logical clock forward. The clock
 // only drives the raid policy; it never affects data paths.
 func (c *Cluster) AdvanceClock(d time.Duration) {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	if d > 0 {
 		c.now += d
@@ -42,7 +42,7 @@ func (c *Cluster) AdvanceClock(d time.Duration) {
 
 // Now returns the logical clock.
 func (c *Cluster) Now() time.Duration {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	return c.now
 }
@@ -51,7 +51,7 @@ func (c *Cluster) Now() time.Duration {
 // un-raided files whose last access is at least ColdAge ago, sorted by
 // name for determinism.
 func (c *Cluster) RaidCandidates(policy RaidPolicy) []string {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	var out []string
 	for name, fm := range c.files {
@@ -127,7 +127,7 @@ type ScrubReport struct {
 // repair; run the BlockFixer afterwards, as the production pipeline
 // does.
 func (c *Cluster) RunScrubber() (*ScrubReport, error) {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	report := &ScrubReport{}
 
@@ -181,7 +181,7 @@ func (c *Cluster) RunScrubberSlice(machines int) (*ScrubReport, error) {
 	if machines < 1 {
 		return nil, errors.New("hdfs: scrub slice must cover at least one machine")
 	}
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	if machines > len(c.nodes) {
 		machines = len(c.nodes)
@@ -248,7 +248,7 @@ func (c *Cluster) scrubMachineLocked(m int, report *ScrubReport, affected map[Bl
 // corruption scrubbers exist to catch. It deliberately bypasses
 // checksum maintenance.
 func (c *Cluster) InjectBitRot(machine int, id BlockID, offset int64) error {
-	c.mu.Lock()
+	c.lockMeta()
 	defer c.mu.Unlock()
 	node := c.nodes[machine]
 	node.mu.Lock()
@@ -267,7 +267,7 @@ func (c *Cluster) InjectBitRot(machine int, id BlockID, offset int64) error {
 // BlocksOn returns the ids of blocks with a replica on the machine,
 // sorted ascending.
 func (c *Cluster) BlocksOn(machine int) []BlockID {
-	c.mu.RLock()
+	c.rlockMeta()
 	defer c.mu.RUnlock()
 	node := c.nodes[machine]
 	node.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
 	"repro/internal/rs"
+	"repro/internal/testutil/leakcheck"
 )
 
 // fakeClock is a manually advanced clock shared by the manager and the
@@ -39,13 +40,17 @@ func (c *fakeClock) Advance(d time.Duration) {
 // layer's dn.heartbeat loops), and polls the control loop once.
 type testHarness struct {
 	t       *testing.T
-	cluster *hdfs.Cluster
+	cluster hdfs.Metadata
 	mgr     *Manager
 	clk     *fakeClock
 }
 
 func newHarness(t *testing.T, cfg Config) *testHarness {
 	t.Helper()
+	// Catches a Run loop (or anything else) left behind at test end —
+	// most tests here are tick-driven and goroutine-free, but the
+	// Start/Stop smoke test spawns the live loop.
+	leakcheck.Cleanup(t)
 	code, err := rs.New(4, 2)
 	if err != nil {
 		t.Fatal(err)

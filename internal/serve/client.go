@@ -469,6 +469,11 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The size is namenode-reported wire data; bound it before it
+	// sizes the assembly buffer.
+	if size < 0 || size > maxPayloadBytes {
+		return nil, fmt.Errorf("serve: file %s reports size %d out of bounds", name, size)
+	}
 	out := make([]byte, 0, size)
 	for i := range blocks {
 		data, err := c.readBlock(name, i, blocks[i])
@@ -548,6 +553,11 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 	if st == nil {
 		return nil, fmt.Errorf("serve: stripe %d reply missing layout", b.Stripe)
 	}
+	// The shard size comes off the wire; bound it before it sizes any
+	// reconstruction buffer (here and in the partial-sum pipeline).
+	if st.ShardSize <= 0 || st.ShardSize > maxPayloadBytes {
+		return nil, fmt.Errorf("serve: stripe %d reports shard size %d out of bounds", b.Stripe, st.ShardSize)
+	}
 	alive := func(pos int) bool {
 		if pos < 0 || pos >= len(st.Positions) {
 			return false
@@ -564,6 +574,9 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 		// no linear plan) falls back to the conventional fan-in below.
 	}
 	fetch := func(req ec.ReadRequest) ([]byte, error) {
+		if req.Length < 0 || req.Length > st.ShardSize {
+			return nil, fmt.Errorf("serve: plan read of %d bytes exceeds shard size %d", req.Length, st.ShardSize)
+		}
 		p := st.Positions[req.Shard]
 		if p.Block < 0 {
 			return make([]byte, req.Length), nil
@@ -599,6 +612,12 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 // root aggregator. The reconstructing client's NIC carries one
 // block-sized payload instead of the plan's ~k.
 func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.AliveFunc) ([]byte, error) {
+	// degradedRead bounds st.ShardSize before calling here; repeat the
+	// check so the zero-fold fast path below stays safe under any
+	// future caller.
+	if st.ShardSize <= 0 || st.ShardSize > maxPayloadBytes {
+		return nil, fmt.Errorf("serve: stripe %d reports shard size %d out of bounds", st.ID, st.ShardSize)
+	}
 	lp, ok := c.code.(ec.LinearRepairPlanner)
 	if !ok {
 		return nil, fmt.Errorf("serve: %s has no linear repair plan", c.code.Name())

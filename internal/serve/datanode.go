@@ -114,6 +114,7 @@ func (d *DataNode) partial(req *request) ([]byte, error) {
 // their daemons concurrently and XORed in. The returned buffer is the
 // subtree's entire contribution to the repaired shard.
 func (d *DataNode) fold(n *wirePartialNode, targetSize int64) ([]byte, error) {
+	//repolint:ignore framecheck targetSize is bounds-checked by partial() (validatePartial plus the shard-size cap) before the recursion starts
 	buf := make([]byte, targetSize)
 	for _, t := range n.Terms {
 		data, err := d.cluster.NodeReadRange(d.machine, hdfs.BlockID(t.Block), t.Offset, t.Length)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
 	"repro/internal/repairmgr"
+	"repro/internal/testutil/leakcheck"
 )
 
 // startManagedSystem brings up a serving cluster with the repair
@@ -18,6 +19,9 @@ import (
 // sleeping for fixed intervals.
 func startManagedSystem(t *testing.T, mcfg repairmgr.Config) *System {
 	t.Helper()
+	// The manager's poll loop and the node servers must all be reaped
+	// by sys.Close; the sentinel runs after the Close cleanup below.
+	leakcheck.Cleanup(t)
 	code := testCodecs(t)[0] // rs(4,2)
 	sys, err := Start(hdfs.Config{
 		Topology:    cluster.Topology{Racks: code.TotalShards() + 2, MachinesPerRack: 2},

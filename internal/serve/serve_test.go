@@ -15,6 +15,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/lrc"
 	"repro/internal/rs"
+	"repro/internal/testutil/leakcheck"
 )
 
 // testCodecs returns the three codecs the paper compares, sized small
@@ -38,6 +39,10 @@ func testCodecs(t *testing.T) []ec.Code {
 
 func startTestSystem(t *testing.T, code ec.Code) *System {
 	t.Helper()
+	// Registered before sys.Close so the leak verdict runs after it:
+	// a handler or fixer goroutine that Close fails to reap fails the
+	// test here instead of poisoning the next one.
+	leakcheck.Cleanup(t)
 	sys, err := Start(hdfs.Config{
 		Topology:    cluster.Topology{Racks: code.TotalShards() + 2, MachinesPerRack: 2},
 		Code:        code,

@@ -1,0 +1,157 @@
+// Package leakcheck is a hand-rolled goroutine-leak sentinel for the
+// end-to-end tests: the serve stack spawns per-connection handlers and
+// the repair manager runs poll loops, and a test that forgets to close
+// either leaves goroutines behind that poison every later test in the
+// binary. Check snapshots the goroutines alive when it is called and,
+// from t.Cleanup, diffs the stacks still alive at test end against
+// that baseline — retrying over a short window first, because handler
+// teardown races test teardown by design (a closed listener's handlers
+// drain asynchronously).
+//
+// Usage, first line of a test that starts servers or managers:
+//
+//	defer leakcheck.Check(t)()
+//
+// or, for the t.Cleanup ordering style:
+//
+//	leakcheck.Cleanup(t)
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retries and retryDelay bound the settle window: leaked-goroutine
+// verdicts are only issued after the suspect survives every retry, so
+// a handler mid-teardown gets ~2s to finish before it counts.
+const (
+	retries    = 20
+	retryDelay = 100 * time.Millisecond
+)
+
+// Check snapshots the current goroutines and returns a function that
+// fails t if goroutines not in the snapshot are still running when it
+// is invoked (after the retry window). Call it first thing and defer
+// the result.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := snapshot()
+	return func() {
+		t.Helper()
+		verify(t, base)
+	}
+}
+
+// Cleanup is Check wired through t.Cleanup: the verdict runs after the
+// test body and its other cleanups.
+func Cleanup(t testing.TB) {
+	t.Helper()
+	base := snapshot()
+	t.Cleanup(func() { verify(t, base) })
+}
+
+// verify diffs live goroutines against base, retrying while the diff
+// shrinks toward empty.
+func verify(t testing.TB, base map[string]int) {
+	t.Helper()
+	var leaked []string
+	for i := 0; i < retries; i++ {
+		leaked = diff(base)
+		if len(leaked) == 0 {
+			return
+		}
+		time.Sleep(retryDelay)
+	}
+	sort.Strings(leaked)
+	t.Errorf("leakcheck: %d goroutine(s) leaked by this test:\n%s",
+		len(leaked), strings.Join(leaked, "\n"))
+}
+
+// diff returns a description of every interesting goroutine whose
+// signature exceeds its baseline count.
+func diff(base map[string]int) []string {
+	now := snapshot()
+	var leaked []string
+	for sig, n := range now {
+		if extra := n - base[sig]; extra > 0 {
+			leaked = append(leaked, fmt.Sprintf("  %d× %s", extra, sig))
+		}
+	}
+	return leaked
+}
+
+// snapshot returns the multiset of interesting goroutine signatures,
+// keyed by the top non-runtime frame plus the created-by site — stable
+// across runs, precise enough to name the leaking code path.
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	counts := map[string]int{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		sig, ok := signature(g)
+		if ok {
+			counts[sig]++
+		}
+	}
+	return counts
+}
+
+// signature reduces one goroutine's stack dump to its signature, or
+// reports it uninteresting (the test framework's own machinery and
+// runtime-internal goroutines never count as leaks).
+func signature(g string) (string, bool) {
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return "", false
+	}
+	var top, createdBy string
+	for _, line := range lines[1:] {
+		if line == "" || strings.HasPrefix(line, "\t") {
+			continue // file:line frames are tab-indented
+		}
+		if strings.HasPrefix(line, "created by ") {
+			createdBy = strings.TrimPrefix(line, "created by ")
+			// Drop the creator's goroutine id — it varies per run.
+			if i := strings.Index(createdBy, " in goroutine "); i >= 0 {
+				createdBy = createdBy[:i]
+			}
+			continue
+		}
+		if top == "" && !strings.HasPrefix(line, "runtime.") {
+			top = line
+		}
+	}
+	if top == "" {
+		return "", false
+	}
+	for _, benign := range benignFrames {
+		if strings.HasPrefix(top, benign) || strings.HasPrefix(createdBy, benign) {
+			return "", false
+		}
+	}
+	if createdBy != "" {
+		return top + " [created by " + createdBy + "]", true
+	}
+	return top, true
+}
+
+// benignFrames are goroutines that are supposed to outlive any one
+// test: the testing framework's runners and timers, signal handling,
+// and profiling.
+var benignFrames = []string{
+	"testing.",
+	"os/signal.",
+	"runtime/pprof.",
+}
