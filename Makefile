@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
+.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke metrics-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
 
 build:
 	$(GO) build ./...
@@ -83,7 +83,7 @@ bench:
 # One-iteration pass over every benchmark so bench code cannot rot,
 # plus a 2-second loadgen run on a tiny live TCP cluster so the serving
 # layer's end-to-end path (kill mid-run included) cannot rot either.
-benchsmoke: repairmgr-smoke shards-smoke
+benchsmoke: repairmgr-smoke shards-smoke metrics-smoke
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
 
@@ -93,6 +93,14 @@ benchsmoke: repairmgr-smoke shards-smoke
 # or if a restart inside the grace window moves any repair bytes).
 repairmgr-smoke:
 	$(GO) run ./cmd/loadgen -repairmgr -codecs rs -k 4 -r 2 -clients 2 -duration 1500ms -files 3 -filesize 32768 -blocksize 8192 -out none
+
+# End-to-end telemetry check: an instrumented live cluster (debug HTTP
+# listeners on) runs a kill / degraded-read / autonomous-repair cycle
+# while /metrics is scraped twice; the command exits non-zero if any
+# required instrument is missing, the cycle's counters did not move, or
+# a counter went backwards between scrapes.
+metrics-smoke:
+	$(GO) run ./cmd/loadgen -metricssmoke -codecs rs -k 4 -r 2
 
 # Short sharded-metadata run: the Zipf many-files workload at 1 and 4
 # shards; the command exits non-zero on any op error or if 4-shard

@@ -22,6 +22,7 @@
 //	        [-files N] [-filesize BYTES] [-blocksize BYTES] [-racks N]
 //	        [-machines N] [-writefrac F] [-kill D] [-seed N] [-out FILE]
 //	loadgen -shardbench [-shards 1,4,16] [-duration D] [-seed N] [-out FILE]
+//	loadgen -metricssmoke [-codecs rs,pbrs,lrc] [-k K] [-r R]
 package main
 
 import (
@@ -53,6 +54,8 @@ func main() {
 	throttle := flag.Float64("throttle", 0, "repairmgr: background repair cap in bytes/sec (0 = harness default)")
 	shardbench := flag.Bool("shardbench", false, "benchmark the sharded metadata plane: Zipf metadata workload at each -shards count, gated on monotonic ops/sec scaling (writes BENCH_shards.json)")
 	shardCounts := flag.String("shards", "1,4,16", "shardbench: comma-separated metadata shard counts to measure, in order")
+	metricsDump := flag.Bool("metrics-dump", false, "run the cluster with telemetry enabled and append the end-of-run /metrics registry snapshot to each codec's results row")
+	metricsSmoke := flag.Bool("metricssmoke", false, "run the end-to-end telemetry smoke check per codec: instrumented cluster, kill + degraded reads + autonomous repair, double /metrics scrape gated on instrument presence and counter monotonicity (writes no results file)")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
 	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; BENCH_shards.json with -shardbench; "none" disables)`)
 	flag.Parse()
@@ -63,6 +66,10 @@ func main() {
 	}
 	if *shardbench && (*repairbench || *partialbench || *partialsum) {
 		fmt.Fprintln(os.Stderr, "loadgen: -shardbench is mutually exclusive with -repairmgr/-partialbench/-partialsum")
+		os.Exit(2)
+	}
+	if *metricsSmoke && (*shardbench || *repairbench || *partialbench || *partialsum) {
+		fmt.Fprintln(os.Stderr, "loadgen: -metricssmoke is mutually exclusive with the benchmark modes")
 		os.Exit(2)
 	}
 	outFile := *out
@@ -80,6 +87,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *metricsSmoke:
+		err = runMetricsSmoke(*k, *r, *codecNames)
 	case *shardbench:
 		err = runShardBench(*shardCounts, *duration, *seed, outFile)
 	case *repairbench:
@@ -87,7 +96,8 @@ func main() {
 			*blocksize, *racks, *machines, *throttle, *seed, outFile)
 	default:
 		err = run(*k, *r, *codecNames, *clients, *duration, *files, *filesize, *blocksize,
-			*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *seed, outFile)
+			*racks, *machines, *writefrac, *kill, *partialsum, *partialbench, *metricsDump,
+			*seed, outFile)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -236,9 +246,32 @@ func buildCodecs(names string, k, r int) ([]repro.Codec, error) {
 	return out, nil
 }
 
+// runMetricsSmoke drives the end-to-end telemetry check (`make
+// metrics-smoke`): per codec, an instrumented cluster with the debug
+// HTTP listeners on is pushed through a kill / degraded-read /
+// autonomous-repair cycle and its /metrics endpoint is scraped twice,
+// gated on instrument presence, cycle activity, and counter
+// monotonicity.
+func runMetricsSmoke(k, r int, codecNames string) error {
+	codecs, err := buildCodecs(codecNames, k, r)
+	if err != nil {
+		return err
+	}
+	for _, c := range codecs {
+		fmt.Printf("metrics smoke: %s ... ", c.Name())
+		if err := repro.RunServeMetricsSmoke(c); err != nil {
+			fmt.Println("FAIL")
+			return err
+		}
+		fmt.Println("ok")
+	}
+	fmt.Printf("\nall %d codecs exposed a complete, monotonic /metrics surface through the repair cycle\n", len(codecs))
+	return nil
+}
+
 func run(k, r int, codecNames string, clients int, duration time.Duration, files int,
 	filesize, blocksize int64, racks, machines int, writefrac float64,
-	kill time.Duration, partialsum, partialbench bool, seed int64, outFile string) error {
+	kill time.Duration, partialsum, partialbench, metricsDump bool, seed int64, outFile string) error {
 	codecs, err := buildCodecs(codecNames, k, r)
 	if err != nil {
 		return err
@@ -254,6 +287,7 @@ func run(k, r int, codecNames string, clients int, duration time.Duration, files
 		WriteFraction:    writefrac,
 		KillAfter:        kill,
 		PartialSumRepair: partialsum,
+		MetricsDump:      metricsDump,
 		Seed:             seed,
 	}
 

@@ -30,8 +30,13 @@ func (frameCheck) Doc() string {
 	return "serve wire path: every frame read/write error checked, every decoded length bounds-checked before allocation"
 }
 
-// frameTargetPath is the package the rule applies to.
-const frameTargetPath = "repro/internal/serve"
+// frameTargetPaths are the packages the rule applies to: the serve
+// wire path and the telemetry plane it carries (trace headers ride the
+// same frames; the debug HTTP handlers marshal registry state).
+var frameTargetPaths = map[string]bool{
+	"repro/internal/serve":     true,
+	"repro/internal/telemetry": true,
+}
 
 // wireCallErrLast are wire-path calls returning (n, err).
 var wireCallErrLast = map[string]bool{
@@ -50,7 +55,7 @@ var wireCallErrOnly = map[string]bool{
 }
 
 func (a frameCheck) Check(pkg *Package) []Diagnostic {
-	if pkg.ImportPath != frameTargetPath {
+	if !frameTargetPaths[pkg.ImportPath] {
 		return nil
 	}
 	var diags []Diagnostic

@@ -27,8 +27,10 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/ec"
+	"repro/internal/telemetry"
 )
 
 // Options configures an Engine.
@@ -37,6 +39,12 @@ type Options struct {
 	// GOMAXPROCS. Cache-level chunking is not configured here: the
 	// gf256 bulk kernels chunk internally.
 	Parallelism int
+	// Telemetry, when non-nil, publishes the engine's instruments into
+	// the registry: engine_workers (gauge), engine_jobs_total,
+	// engine_busy_nanos_total, and the scratch-pool hit/miss counters
+	// (engine_scratch_hits_total / engine_scratch_misses_total).
+	// Engines sharing a registry share the instruments.
+	Telemetry *telemetry.Registry
 }
 
 // Engine executes batches of stripe jobs over a bounded worker pool.
@@ -45,6 +53,11 @@ type Options struct {
 type Engine struct {
 	par     int
 	scratch sync.Pool // *Scratch
+
+	// Instruments (nil when Options.Telemetry was nil; every method on
+	// them is a no-op then).
+	cJobs *telemetry.Counter
+	cBusy *telemetry.Counter
 }
 
 // New builds an engine. See Options for the zero-value defaults.
@@ -54,7 +67,15 @@ func New(opts Options) *Engine {
 		par = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{par: par}
-	e.scratch.New = func() any { return &Scratch{} }
+	var hits, misses *telemetry.Counter
+	if reg := opts.Telemetry; reg != nil {
+		reg.RegisterGauge("engine_workers", func() float64 { return float64(par) })
+		e.cJobs = reg.Counter("engine_jobs_total")
+		e.cBusy = reg.Counter("engine_busy_nanos_total")
+		hits = reg.Counter("engine_scratch_hits_total")
+		misses = reg.Counter("engine_scratch_misses_total")
+	}
+	e.scratch.New = func() any { return &Scratch{hits: hits, misses: misses} }
 	return e
 }
 
@@ -68,6 +89,11 @@ func (e *Engine) Parallelism() int { return e.par }
 type Scratch struct {
 	bufs [][]byte
 	next int
+
+	// Pool efficiency counters (nil-safe no-ops when uninstrumented):
+	// hits count the reuse branch, misses the refill allocations.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 // Bytes returns a length-n buffer, reusing a prior allocation when one
@@ -76,8 +102,10 @@ func (s *Scratch) Bytes(n int) []byte {
 	if s.next < len(s.bufs) && cap(s.bufs[s.next]) >= n {
 		b := s.bufs[s.next][:n]
 		s.next++
+		s.hits.Inc()
 		return b
 	}
+	s.misses.Inc()
 	//repolint:ignore noalloc the arena miss path IS the pool refill; steady-state fetches take the reuse branch above
 	b := make([]byte, n)
 	if s.next < len(s.bufs) {
@@ -219,6 +247,18 @@ func (e *Engine) RunTasks(tasks []func() error) []error {
 func (e *Engine) forEach(n int, fn func(i int, s *Scratch)) {
 	if n == 0 {
 		return
+	}
+	if e.cBusy != nil {
+		// Wrap once per batch: worker-busy nanoseconds and job counts
+		// feed the utilization gauge ((busy/elapsed)/workers) without
+		// touching the uninstrumented hot path.
+		inner := fn
+		fn = func(i int, s *Scratch) {
+			t0 := time.Now()
+			inner(i, s)
+			e.cBusy.Add(int64(time.Since(t0)))
+			e.cJobs.Inc()
+		}
 	}
 	workers := e.par
 	if workers > n {

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gf256"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Common errors.
@@ -218,6 +220,11 @@ type Config struct {
 	//
 	// Deprecated: prefer WithFabric(t); the field keeps working.
 	Fabric *netsim.Topology
+	// Telemetry, when non-nil, is the metrics registry the cluster
+	// publishes into: per-shard metadata-lock gauges
+	// (hdfs_lock_wait_seconds, hdfs_meta_ops) and the repair engine's
+	// instruments. Prefer WithTelemetry(reg).
+	Telemetry *telemetry.Registry
 }
 
 // Validate reports whether the configuration is usable.
@@ -361,11 +368,11 @@ func newDataNodes(n int) []*dataNode {
 // and network fabric, allocating block/stripe ids from base with the
 // given stride.
 func newShard(cfg Config, net *cluster.Network, nodes []*dataNode, base, stride int64) *Cluster {
-	return &Cluster{
+	c := &Cluster{
 		cfg:        cfg,
 		net:        net,
 		nodes:      nodes,
-		eng:        engine.New(engine.Options{Parallelism: cfg.RepairParallelism}),
+		eng:        engine.New(engine.Options{Parallelism: cfg.RepairParallelism, Telemetry: cfg.Telemetry}),
 		idStride:   stride,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		files:      make(map[string]*fileMeta),
@@ -374,6 +381,18 @@ func newShard(cfg Config, net *cluster.Network, nodes []*dataNode, base, stride 
 		nextBlock:  BlockID(base),
 		nextStripe: StripeID(base),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		// base is unique per shard (shard i of n allocates ids from base
+		// i), so it doubles as the shard label.
+		shard := strconv.FormatInt(base, 10)
+		reg.RegisterGauge(`hdfs_lock_wait_seconds{shard="`+shard+`"}`, func() float64 {
+			return float64(c.lockWaitNanos.Load()) / 1e9
+		})
+		reg.RegisterGauge(`hdfs_meta_ops{shard="`+shard+`"}`, func() float64 {
+			return float64(c.metaOps.Load())
+		})
+	}
+	return c
 }
 
 // lockMeta / rlockMeta acquire the metadata mutex, charging the wait

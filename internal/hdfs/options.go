@@ -4,6 +4,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ec"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Option mutates a Config before validation. New, NewSharded, and Open
@@ -67,4 +68,10 @@ func WithPartialSumRepair() Option {
 // Config.Fabric field.
 func WithFabric(t *netsim.Topology) Option {
 	return func(c *Config) { c.Fabric = t }
+}
+
+// WithTelemetry publishes the cluster's instruments — per-shard
+// metadata-lock gauges and the repair engine's counters — into reg.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.Telemetry = reg }
 }

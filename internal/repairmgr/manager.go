@@ -16,11 +16,13 @@ package repairmgr
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/hdfs"
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises a Manager. A zero SuspectAfter, PollInterval,
@@ -55,6 +57,10 @@ type Config struct {
 	CompletedLog int
 	// Clock injects time; nil selects time.Now. Tests pass a fake.
 	Clock func() time.Time
+	// Telemetry, when non-nil, publishes the control plane's
+	// instruments into the registry: poll/repair/grace-save counters
+	// and queue-depth/throttle/degradation gauges.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns production-flavoured settings: a 3s suspect
@@ -141,6 +147,14 @@ type Status struct {
 	// Completed is the completion log, oldest first, capped at
 	// Config.CompletedLog.
 	Completed []CompletedRepair
+	// UptimeSeconds is the manager's age (per its injected clock).
+	// SecondsSincePoll is how long ago the last Poll iteration
+	// finished, -1 if none has: a large value on a long-uptime manager
+	// means the control loop is stalled, not idle. PollCount counts
+	// completed iterations.
+	UptimeSeconds    float64
+	SecondsSincePoll float64
+	PollCount        int64
 }
 
 // lane is the per-shard slice of the control plane: one health
@@ -178,6 +192,19 @@ type Manager struct {
 	pending  []Transition // heartbeat-produced transitions awaiting Poll
 	suspects map[int]suspectEstimate
 	paused   bool
+
+	started   time.Time // construction time, per cfg.Clock
+	lastPoll  time.Time // zero until the first Poll completes
+	pollCount int64
+
+	// Telemetry counters (nil-safe no-ops when Config.Telemetry is
+	// nil); gauges register directly against the registry in New.
+	cPolls         *telemetry.Counter
+	cRepairs       *telemetry.Counter
+	cRepairedBytes *telemetry.Counter
+	cAvoided       *telemetry.Counter
+	cAvoidedBytes  *telemetry.Counter
+	cUnrecoverable *telemetry.Counter
 
 	repairsDone   int
 	repairedBytes int64
@@ -229,6 +256,7 @@ func New(cluster hdfs.Metadata, cfg Config) (*Manager, error) {
 		tolerance:  code.ParityShards(),
 		dataShards: code.DataShards(),
 		suspects:   make(map[int]suspectEstimate),
+		started:    now,
 	}
 	if router, ok := cluster.(hdfs.ShardRouter); ok && router.Shards() > 1 {
 		m.router = router
@@ -250,7 +278,58 @@ func New(cluster hdfs.Metadata, cfg Config) (*Manager, error) {
 	if cfg.ScrubInterval > 0 {
 		m.nextScrub = now.Add(cfg.ScrubInterval)
 	}
+	m.registerTelemetry()
 	return m, nil
+}
+
+// registerTelemetry publishes the manager's instruments. Counters are
+// incremented inline by the control loop; gauges read the live queue,
+// throttle, and registry state at scrape time.
+func (m *Manager) registerTelemetry() {
+	reg := m.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	m.cPolls = reg.Counter("repair_polls_total")
+	m.cRepairs = reg.Counter("repair_repairs_done_total")
+	m.cRepairedBytes = reg.Counter("repair_repaired_bytes_total")
+	m.cAvoided = reg.Counter("repair_avoided_repairs_total")
+	m.cAvoidedBytes = reg.Counter("repair_avoided_bytes_total")
+	m.cUnrecoverable = reg.Counter("repair_unrecoverable_total")
+
+	reg.RegisterGauge("repair_queue_depth", func() float64 {
+		return float64(m.QueueDepth())
+	})
+	for tier := 1; tier <= m.tolerance; tier++ {
+		tier := tier
+		reg.RegisterGauge(`repair_queue_depth{erasures="`+strconv.Itoa(tier)+`"}`, func() float64 {
+			depth := 0
+			for _, ln := range m.lanes {
+				depth += ln.queue.DepthsByErasures()[tier]
+			}
+			return float64(depth)
+		})
+	}
+	reg.RegisterGauge("repair_throttle_level_bytes", func() float64 {
+		return m.bucket.Level(m.cfg.Clock())
+	})
+	reg.RegisterGauge("repair_throttle_bytes_per_sec", func() float64 {
+		return m.bucket.Rate()
+	})
+	reg.RegisterGauge("repair_degraded_stripes", func() float64 {
+		n := 0
+		for _, ln := range m.lanes {
+			n += ln.reg.DegradedStripes()
+		}
+		return float64(n)
+	})
+	reg.RegisterGauge("repair_degraded_blocks", func() float64 {
+		n := 0
+		for _, ln := range m.lanes {
+			n += ln.reg.DegradedBlocks()
+		}
+		return float64(n)
+	})
 }
 
 // laneForStripe returns the lane owning the stripe id.
@@ -349,6 +428,16 @@ func (m *Manager) NodeState(node int) NodeState { return m.det.State(node) }
 func (m *Manager) Poll() error {
 	m.pollMu.Lock()
 	defer m.pollMu.Unlock()
+	// Stamp completion on every exit path (including the paused early
+	// return): SecondsSincePoll measures loop liveness, not work done.
+	defer func() {
+		end := m.cfg.Clock()
+		m.mu.Lock()
+		m.lastPoll = end
+		m.pollCount++
+		m.mu.Unlock()
+		m.cPolls.Inc()
+	}()
 	now := m.cfg.Clock()
 
 	m.mu.Lock()
@@ -433,6 +522,10 @@ func (m *Manager) handleTransition(tr Transition, now time.Time) {
 			m.avoidedBytes += est.bytes
 		}
 		m.mu.Unlock()
+		if ok && est.repairs > 0 {
+			m.cAvoided.Add(int64(est.repairs))
+			m.cAvoidedBytes.Add(est.bytes)
+		}
 
 	case tr.To == StateAlive && tr.From == StateDead:
 		// The node returned after repairs were enqueued: re-examine its
@@ -689,6 +782,11 @@ func (m *Manager) execute(ln *lane, task Task) error {
 		m.completed = append([]CompletedRepair(nil), m.completed[over:]...)
 	}
 	m.mu.Unlock()
+	m.cRepairs.Inc()
+	m.cRepairedBytes.Add(done.Bytes)
+	if done.Unrecoverable {
+		m.cUnrecoverable.Inc()
+	}
 	return err
 }
 
@@ -719,8 +817,16 @@ func (m *Manager) Status() Status {
 		s.DegradedStripes += ln.reg.DegradedStripes()
 		s.DegradedBlocks += ln.reg.DegradedBlocks()
 	}
+	now := m.cfg.Clock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	s.UptimeSeconds = now.Sub(m.started).Seconds()
+	if m.lastPoll.IsZero() {
+		s.SecondsSincePoll = -1
+	} else {
+		s.SecondsSincePoll = now.Sub(m.lastPoll).Seconds()
+	}
+	s.PollCount = m.pollCount
 	s.Paused = m.paused
 	s.RepairsDone = m.repairsDone
 	s.RepairedBytes = m.repairedBytes

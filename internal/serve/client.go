@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ec"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // defaultTimeout bounds one RPC round trip. Localhost RPCs answer in
@@ -114,6 +115,20 @@ func WithPartialSumRepair() ClientOption {
 	return func(c *Client) { c.partialSum = true }
 }
 
+// WithTraceSampling samples every Nth degraded read (1 = every one)
+// for distributed tracing: the sampled read mints a trace context,
+// propagates it on every RPC it issues, and records a root span
+// locally. Collect the assembled trace with CollectTrace after reading
+// LastTraceID.
+func WithTraceSampling(every int) ClientOption {
+	return func(c *Client) {
+		if every > 0 {
+			c.sampleEvery = int64(every)
+			c.spans = telemetry.NewSpanStore(0)
+		}
+	}
+}
+
 // Client talks to a serving cluster. It is safe for concurrent use;
 // workloads wanting parallel in-flight requests should prefer one
 // Client per worker, since requests on one pooled connection
@@ -130,13 +145,26 @@ type Client struct {
 	addrs   []string // machine id → datanode address ("" = down)
 	perRack int      // machines per rack, from the handshake
 
-	rr               atomic.Uint64 // replica rotation
-	reads            atomic.Int64
-	writes           atomic.Int64
-	blocksRead       atomic.Int64
-	degradedBlocks   atomic.Int64
-	partialSumBlocks atomic.Int64
-	degradedBytes    atomic.Int64
+	rr atomic.Uint64 // replica rotation
+
+	// Operation counters live on a per-client registry, so Counters()
+	// reads and the hot paths that bump them are both atomic — no
+	// torn reads under -race — and a snapshot of every client metric
+	// is one Registry.Snapshot away.
+	reg             *telemetry.Registry
+	cReads          *telemetry.Counter
+	cWrites         *telemetry.Counter
+	cBlocksRead     *telemetry.Counter
+	cDegradedBlocks *telemetry.Counter
+	cPartialBlocks  *telemetry.Counter
+	cDegradedBytes  *telemetry.Counter
+
+	// Trace sampling state (WithTraceSampling): every Nth degraded
+	// read propagates a trace context and records a client root span.
+	sampleEvery int64
+	degradedSeq atomic.Int64
+	lastTrace   atomic.Uint64
+	spans       *telemetry.SpanStore
 }
 
 // Dial connects to the namenode and fetches the cluster handshake.
@@ -148,7 +176,14 @@ func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) 
 		nameAddr: nameAddr,
 		timeout:  defaultTimeout,
 		dns:      make(map[string]*conn),
+		reg:      telemetry.NewRegistry(),
 	}
+	c.cReads = c.reg.Counter("client_reads_total")
+	c.cWrites = c.reg.Counter("client_writes_total")
+	c.cBlocksRead = c.reg.Counter("client_blocks_read_total")
+	c.cDegradedBlocks = c.reg.Counter("client_degraded_blocks_total")
+	c.cPartialBlocks = c.reg.Counter("client_partialsum_blocks_total")
+	c.cDegradedBytes = c.reg.Counter("client_degraded_bytes_total")
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -166,17 +201,28 @@ func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) 
 	return c, nil
 }
 
-// Counters returns the cumulative operation counts.
+// Counters returns the cumulative operation counts. Each field is an
+// atomic read of the backing registry counter, so calling concurrently
+// with in-flight operations is race-free (values may trail operations
+// completing mid-snapshot, as any concurrent counter read does).
 func (c *Client) Counters() Counters {
 	return Counters{
-		Reads:                c.reads.Load(),
-		Writes:               c.writes.Load(),
-		BlocksRead:           c.blocksRead.Load(),
-		DegradedBlocks:       c.degradedBlocks.Load(),
-		PartialSumBlocks:     c.partialSumBlocks.Load(),
-		DegradedBytesFetched: c.degradedBytes.Load(),
+		Reads:                c.cReads.Value(),
+		Writes:               c.cWrites.Value(),
+		BlocksRead:           c.cBlocksRead.Value(),
+		DegradedBlocks:       c.cDegradedBlocks.Value(),
+		PartialSumBlocks:     c.cPartialBlocks.Value(),
+		DegradedBytesFetched: c.cDegradedBytes.Value(),
 	}
 }
+
+// Telemetry exposes the client's metrics registry — the same counters
+// Counters() reports, in mergeable snapshot form.
+func (c *Client) Telemetry() *telemetry.Registry { return c.reg }
+
+// LastTraceID returns the trace id of the most recent sampled degraded
+// read (0 when tracing is off or nothing sampled yet).
+func (c *Client) LastTraceID() uint64 { return c.lastTrace.Load() }
 
 // Close severs every pooled connection.
 func (c *Client) Close() error {
@@ -263,6 +309,13 @@ func (c *Client) dnCall(machine int, req *request) ([]byte, error) {
 // dnCallTimeout is dnCall with an explicit deadline — partial-sum
 // calls scale theirs with the fold tree's size.
 func (c *Client) dnCallTimeout(machine int, req *request, timeout time.Duration) ([]byte, error) {
+	_, out, err := c.dnCallFull(machine, req, timeout)
+	return out, err
+}
+
+// dnCallFull also surfaces the response header — debug.trace answers
+// in the header's span list, not the payload.
+func (c *Client) dnCallFull(machine int, req *request, timeout time.Duration) (*response, []byte, error) {
 	c.mu.Lock()
 	var addr string
 	if machine >= 0 && machine < len(c.addrs) {
@@ -271,12 +324,12 @@ func (c *Client) dnCallTimeout(machine int, req *request, timeout time.Duration)
 	cn := c.dns[addr]
 	c.mu.Unlock()
 	if addr == "" {
-		return nil, fmt.Errorf("serve: datanode %d has no address (down?)", machine)
+		return nil, nil, fmt.Errorf("serve: datanode %d has no address (down?)", machine)
 	}
 	if cn == nil {
 		fresh, err := dialConn(addr, timeout)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		c.mu.Lock()
 		if existing := c.dns[addr]; existing != nil {
@@ -288,7 +341,7 @@ func (c *Client) dnCallTimeout(machine int, req *request, timeout time.Duration)
 		}
 		c.mu.Unlock()
 	}
-	_, out, err := cn.call(req, nil, timeout)
+	resp, out, err := cn.call(req, nil, timeout)
 	if err != nil {
 		if _, remote := err.(*RemoteError); !remote {
 			c.mu.Lock()
@@ -298,14 +351,16 @@ func (c *Client) dnCallTimeout(machine int, req *request, timeout time.Duration)
 			c.mu.Unlock()
 			cn.close()
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return resp, out, nil
 }
 
-// dnRead fetches one byte range of one block from a machine.
-func (c *Client) dnRead(machine int, block, offset, length int64) ([]byte, error) {
-	return c.dnCall(machine, &request{Method: methodDNRead, Block: block, Offset: offset, Length: length})
+// dnRead fetches one byte range of one block from a machine. trace,
+// when non-nil, rides the request so the datanode's span parents under
+// the caller's.
+func (c *Client) dnRead(machine int, block, offset, length int64, trace *telemetry.TraceContext) ([]byte, error) {
+	return c.dnCall(machine, &request{Method: methodDNRead, Block: block, Offset: offset, Length: length, Trace: trace})
 }
 
 // WriteFile stores data as a new file.
@@ -313,7 +368,7 @@ func (c *Client) WriteFile(name string, data []byte) error {
 	if _, err := c.nameCall(&request{Method: methodWrite, Name: name}, data); err != nil {
 		return err
 	}
-	c.writes.Add(1)
+	c.cWrites.Inc()
 	return nil
 }
 
@@ -381,6 +436,11 @@ type RepairStatus struct {
 	ScrubCorrupt    int
 	ThrottleBps     float64
 	Completed       []CompletedFix
+	// UptimeSeconds / SecondsSincePoll (-1 = never polled) / PollCount
+	// distinguish a stalled control loop from an idle one.
+	UptimeSeconds    float64
+	SecondsSincePoll float64
+	PollCount        int64
 }
 
 // RepairNodeState is one machine's failure-detector state.
@@ -429,6 +489,10 @@ func (c *Client) RepairStatus() (*RepairStatus, error) {
 		ScrubReplicas:   w.ScrubReplicas,
 		ScrubCorrupt:    w.ScrubCorrupt,
 		ThrottleBps:     w.ThrottleBps,
+
+		UptimeSeconds:    w.UptimeSeconds,
+		SecondsSincePoll: w.SecondsSincePoll,
+		PollCount:        w.PollCount,
 	}
 	for _, n := range w.Nodes {
 		st.Nodes = append(st.Nodes, RepairNodeState{Machine: n.Machine, State: n.State})
@@ -449,6 +513,36 @@ func (c *Client) RepairStatus() (*RepairStatus, error) {
 		})
 	}
 	return st, nil
+}
+
+// CollectTrace assembles one distributed trace: the client's local
+// root span plus the spans buffered at the namenode and every
+// reachable datanode, filtered to traceID. Daemons that are down (or
+// run without telemetry) are skipped — their spans are simply absent,
+// which is what a trace of a system with failures looks like. The
+// caller builds the tree with telemetry.BuildTree.
+func (c *Client) CollectTrace(traceID uint64) ([]telemetry.Span, error) {
+	if traceID == 0 {
+		return nil, errors.New("serve: trace id 0 names no trace")
+	}
+	spans := c.spans.Trace(traceID)
+	if resp, err := c.nameCall(&request{Method: methodDebugTrace, TraceID: traceID}, nil); err == nil {
+		spans = append(spans, resp.Spans...)
+	}
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	c.mu.Unlock()
+	for m, addr := range addrs {
+		if addr == "" {
+			continue
+		}
+		resp, _, err := c.dnCallFull(m, &request{Method: methodDebugTrace, TraceID: traceID}, c.timeout)
+		if err != nil {
+			continue
+		}
+		spans = append(spans, resp.Spans...)
+	}
+	return spans, nil
 }
 
 // fileBlocks fetches the file's size and block table.
@@ -482,7 +576,7 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 		}
 		out = append(out, data...)
 	}
-	c.reads.Add(1)
+	c.cReads.Inc()
 	return out, nil
 }
 
@@ -512,9 +606,9 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 			start := int(c.rr.Add(1)) % n
 			for i := 0; i < n; i++ {
 				m := b.Locations[(start+i)%n]
-				data, err := c.dnRead(m, b.ID, 0, b.Size)
+				data, err := c.dnRead(m, b.ID, 0, b.Size, nil)
 				if err == nil {
-					c.blocksRead.Add(1)
+					c.cBlocksRead.Inc()
 					return data, nil
 				}
 				lastErr = err
@@ -525,8 +619,8 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 		if b.Stripe >= 0 {
 			data, err := c.degradedRead(b)
 			if err == nil {
-				c.blocksRead.Add(1)
-				c.degradedBlocks.Add(1)
+				c.cBlocksRead.Inc()
+				c.cDegradedBlocks.Inc()
 				return data, nil
 			}
 			lastErr = err
@@ -545,7 +639,43 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 // as zeros without touching the network — exactly the access pattern
 // the repair plans charge for.
 func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
-	resp, err := c.nameCall(&request{Method: methodStripe, Stripe: b.Stripe}, nil)
+	// Sampling decision: every Nth degraded read mints a trace context
+	// that rides every RPC the reconstruction issues, plus a root span
+	// recorded locally whose Bytes is the total payload this client
+	// downloaded to serve the read.
+	var (
+		tc         *telemetry.TraceContext
+		rootSpan   uint64
+		traceStart time.Time
+		fetched    atomic.Int64
+	)
+	if c.sampleEvery > 0 && (c.degradedSeq.Add(1)-1)%c.sampleEvery == 0 {
+		rootSpan = telemetry.NewID()
+		tc = &telemetry.TraceContext{TraceID: telemetry.NewID(), SpanID: rootSpan, Sampled: true}
+		c.lastTrace.Store(tc.TraceID)
+		traceStart = time.Now()
+	}
+	out, err := c.degradedReadTraced(b, tc, &fetched)
+	if tc != nil {
+		span := telemetry.Span{
+			TraceID:       tc.TraceID,
+			SpanID:        rootSpan,
+			Name:          "degraded_read",
+			Process:       "client",
+			StartUnixNano: traceStart.UnixNano(),
+			DurationNanos: int64(time.Since(traceStart)),
+			Bytes:         fetched.Load(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		c.spans.Add(span)
+	}
+	return out, err
+}
+
+func (c *Client) degradedReadTraced(b wireBlock, tc *telemetry.TraceContext, fetched *atomic.Int64) ([]byte, error) {
+	resp, err := c.nameCall(&request{Method: methodStripe, Stripe: b.Stripe, Trace: tc}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -566,8 +696,8 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 		return p.Block < 0 || len(p.Locations) > 0
 	}
 	if c.partialSum {
-		if shard, err := c.partialDegradedRead(b, st, alive); err == nil {
-			c.partialSumBlocks.Add(1)
+		if shard, err := c.partialDegradedRead(b, st, alive, tc, fetched); err == nil {
+			c.cPartialBlocks.Inc()
 			return shard[:b.Size], nil
 		}
 		// Any pipeline failure (helper died mid-fold, stale addresses,
@@ -589,9 +719,10 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 		var lastErr error
 		for i := 0; i < n; i++ {
 			m := p.Locations[(start+i)%n]
-			buf, err := c.dnRead(m, p.Block, req.Offset, req.Length)
+			buf, err := c.dnRead(m, p.Block, req.Offset, req.Length, tc)
 			if err == nil {
-				c.degradedBytes.Add(req.Length)
+				c.cDegradedBytes.Add(req.Length)
+				fetched.Add(req.Length)
 				return buf, nil
 			}
 			lastErr = err
@@ -611,7 +742,7 @@ func (c *Client) degradedRead(b wireBlock) ([]byte, error) {
 // rack-aware fold tree, and download the single folded buffer from the
 // root aggregator. The reconstructing client's NIC carries one
 // block-sized payload instead of the plan's ~k.
-func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.AliveFunc) ([]byte, error) {
+func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.AliveFunc, tc *telemetry.TraceContext, fetched *atomic.Int64) ([]byte, error) {
 	// degradedRead bounds st.ShardSize before calling here; repeat the
 	// check so the zero-fold fast path below stays safe under any
 	// future caller.
@@ -678,6 +809,7 @@ func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.Alive
 		Method:  methodDNPartial,
 		Length:  tree.TargetSize,
 		Partial: root,
+		Trace:   tc,
 	}, partialTimeout(len(tree.Nodes())))
 	if err != nil {
 		return nil, err
@@ -685,7 +817,8 @@ func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.Alive
 	if int64(len(out)) != tree.TargetSize {
 		return nil, fmt.Errorf("serve: partial buffer has %d bytes, want %d", len(out), tree.TargetSize)
 	}
-	c.degradedBytes.Add(int64(len(out)))
+	c.cDegradedBytes.Add(int64(len(out)))
+	fetched.Add(int64(len(out)))
 	return out, nil
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/gf256"
 	"repro/internal/hdfs"
+	"repro/internal/telemetry"
 )
 
 // DataNode is one machine's serving daemon.
@@ -31,6 +32,13 @@ type DataNode struct {
 	cluster hdfs.MetadataView
 	machine int
 	srv     *server
+	tele    *nodeTelemetry
+
+	// Partial-sum fold instruments (nil when uninstrumented): folds
+	// executed by this daemon and local multiply-accumulate terms
+	// applied, the observable cost split of aggregation-tree repair.
+	cFolds     *telemetry.Counter
+	cFoldTerms *telemetry.Counter
 
 	// Heartbeat sender state (control plane enabled only): hbStop ends
 	// the loop, hbWg waits it out on close.
@@ -40,10 +48,14 @@ type DataNode struct {
 }
 
 // startDataNode launches the daemon for one machine on an ephemeral
-// localhost port.
-func startDataNode(cluster hdfs.MetadataView, machine int) (*DataNode, error) {
-	d := &DataNode{cluster: cluster, machine: machine}
-	srv, err := newServer(d.handle)
+// localhost port. tele may be nil.
+func startDataNode(cluster hdfs.MetadataView, machine int, tele *nodeTelemetry) (*DataNode, error) {
+	d := &DataNode{cluster: cluster, machine: machine, tele: tele}
+	if tele != nil && tele.reg != nil {
+		d.cFolds = tele.reg.Counter("serve_partial_folds_total")
+		d.cFoldTerms = tele.reg.Counter("serve_partial_fold_terms_total")
+	}
+	srv, err := newServer(d.handle, tele)
 	if err != nil {
 		return nil, err
 	}
@@ -106,14 +118,16 @@ func (d *DataNode) partial(req *request) ([]byte, error) {
 	if req.Partial.Machine != d.machine {
 		return nil, fmt.Errorf("serve: partial tree addressed to machine %d, this is %d", req.Partial.Machine, d.machine)
 	}
-	return d.fold(req.Partial, req.Length)
+	return d.fold(req.Partial, req.Length, req.Trace)
 }
 
 // fold computes one node's partial sum: local terms multiply-accumulate
 // out of this machine's block store; child subtrees are fetched from
 // their daemons concurrently and XORed in. The returned buffer is the
 // subtree's entire contribution to the repaired shard.
-func (d *DataNode) fold(n *wirePartialNode, targetSize int64) ([]byte, error) {
+func (d *DataNode) fold(n *wirePartialNode, targetSize int64, trace *telemetry.TraceContext) ([]byte, error) {
+	d.cFolds.Inc()
+	d.cFoldTerms.Add(int64(len(n.Terms)))
 	//repolint:ignore framecheck targetSize is bounds-checked by partial() (validatePartial plus the shard-size cap) before the recursion starts
 	buf := make([]byte, targetSize)
 	for _, t := range n.Terms {
@@ -133,7 +147,7 @@ func (d *DataNode) fold(n *wirePartialNode, targetSize int64) ([]byte, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], errs[i] = fetchChildPartial(&n.Children[i], targetSize)
+			parts[i], errs[i] = fetchChildPartial(&n.Children[i], targetSize, trace)
 		}(i)
 	}
 	wg.Wait()
@@ -152,14 +166,16 @@ func (d *DataNode) fold(n *wirePartialNode, targetSize int64) ([]byte, error) {
 // child's ENTIRE subtree fold, so it scales with the subtree size
 // instead of being a flat per-hop bound — a deep rack chain must not
 // time out level by level while every node is healthy.
-func fetchChildPartial(child *wirePartialNode, targetSize int64) ([]byte, error) {
+func fetchChildPartial(child *wirePartialNode, targetSize int64, trace *telemetry.TraceContext) ([]byte, error) {
 	timeout := partialTimeout(child.countNodes(maxPartialNodes))
 	cn, err := dialConn(child.Addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	defer cn.close()
-	_, out, err := cn.call(&request{Method: methodDNPartial, Length: targetSize, Partial: child}, nil, timeout)
+	// trace carries THIS daemon's span id (the dispatch layer rewrote it
+	// before the handler ran), so the child's span parents correctly.
+	_, out, err := cn.call(&request{Method: methodDNPartial, Length: targetSize, Partial: child, Trace: trace}, nil, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -238,9 +254,14 @@ func (d *DataNode) stopHeartbeats() {
 	}
 }
 
+// DebugAddr returns the daemon's debug HTTP address ("" when the
+// system runs without telemetry HTTP listeners).
+func (d *DataNode) DebugAddr() string { return d.tele.debugAddr() }
+
 // close severs the listener and every client connection, and silences
 // the heartbeat loop.
 func (d *DataNode) close() {
 	d.stopHeartbeats()
 	d.srv.close()
+	d.tele.close()
 }

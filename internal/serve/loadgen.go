@@ -23,6 +23,7 @@ import (
 	"repro/internal/ec"
 	"repro/internal/hdfs"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // LoadConfig parameterises one load-generator run. The zero value of
@@ -65,6 +66,10 @@ type LoadConfig struct {
 	// hdfs.Config.Shards); 0 or 1 serves from a single Cluster. Prefer
 	// WithLoadShards(n).
 	Shards int
+	// MetricsDump runs the system with telemetry enabled and attaches a
+	// full registry snapshot (every RPC, repair, lock, and engine
+	// instrument) to the LoadResult. Prefer WithLoadMetricsDump().
+	MetricsDump bool
 	// Seed drives placement, content, and the operation mix.
 	Seed int64
 
@@ -153,6 +158,11 @@ type LoadResult struct {
 	Killed        bool    `json:"killed"`
 	KillAfterSecs float64 `json:"kill_after_secs,omitempty"`
 	KilledMachine int     `json:"killed_machine"` // -1 when no kill happened
+
+	// Metrics is the system-side registry snapshot taken at the end of
+	// the run (MetricsDump runs only): the server's view of the same
+	// workload the client-side numbers above describe.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // fileContent generates a file's deterministic payload from the run
@@ -176,6 +186,10 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		opt(&cfg)
 	}
 	cfg = cfg.withDefaults(code)
+	var sysOpts []Option
+	if cfg.MetricsDump {
+		sysOpts = append(sysOpts, WithTelemetry(TelemetryConfig{}))
+	}
 	sys, err := Start(hdfs.Config{
 		Topology:         cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
 		Code:             code,
@@ -184,7 +198,7 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		Seed:             cfg.Seed,
 		PartialSumRepair: cfg.PartialSumRepair,
 		Shards:           cfg.Shards,
-	})
+	}, sysOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +360,10 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.OpsPerSec = float64(res.Reads+res.Writes) / secs
 		res.ThroughputMBPerSec = float64(totalBytes) / 1e6 / secs
+	}
+	if reg := sys.Telemetry(); reg != nil {
+		snap := reg.Snapshot()
+		res.Metrics = &snap
 	}
 	return res, nil
 }

@@ -1,0 +1,233 @@
+// The metrics smoke check: boot a small instrumented system with the
+// debug HTTP listeners on, push it through a write → raid → kill →
+// degraded-read → autonomous-repair cycle, and scrape /metrics like an
+// operator's Prometheus would — twice. The check asserts the contract
+// the observability layer advertises: every required instrument name
+// is present, the cycle's instruments moved, and counters are
+// monotonic between scrapes. `make metrics-smoke` (and CI through
+// benchsmoke) runs it per codec.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ec"
+	"repro/internal/hdfs"
+	"repro/internal/repairmgr"
+)
+
+// requiredInstruments are the name prefixes one namenode /metrics
+// scrape of the exercised system must contain — one per instrumented
+// tier (RPC plane, serve layer, repair control plane, metadata
+// substrate, repair engine).
+var requiredInstruments = []string{
+	"rpc_requests_total",
+	"rpc_request_seconds_bucket",
+	"rpc_response_bytes_total",
+	"serve_degraded_plans_total",
+	"repair_polls_total",
+	"repair_repairs_done_total",
+	"repair_queue_depth",
+	"hdfs_lock_wait_seconds",
+	"hdfs_meta_ops",
+	"engine_workers",
+}
+
+// scrapeMetrics fetches and parses one Prometheus text exposition into
+// a name → value map (full name including labels; # lines skipped).
+func scrapeMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /metrics answered %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("serve: unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: metrics line %q: %w", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// findPrefix returns whether any metric name starts with prefix.
+func findPrefix(m map[string]float64, prefix string) bool {
+	for name := range m {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// sumPrefix sums every metric whose name starts with prefix.
+func sumPrefix(m map[string]float64, prefix string) float64 {
+	total := 0.0
+	for name, v := range m {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// RunMetricsSmoke drives the end-to-end telemetry check for one codec.
+// It returns nil only when the scraped metrics tell the full story of
+// the run: degraded reads planned, repairs polled and completed, every
+// required instrument exposed, counters monotonic.
+func RunMetricsSmoke(code ec.Code) error {
+	mgrCfg := repairmgr.DefaultConfig()
+	mgrCfg.SuspectAfter = 300 * time.Millisecond
+	mgrCfg.GraceWindow = 0 // repair at the suspect deadline: the smoke wants traffic, not savings
+	mgrCfg.PollInterval = 50 * time.Millisecond
+
+	sys, err := Start(hdfs.Config{
+		Topology:    cluster.Topology{Racks: code.TotalShards() + 2, MachinesPerRack: 2},
+		Code:        code,
+		BlockSize:   4096,
+		Replication: 3,
+		Seed:        7,
+	}, WithTelemetry(TelemetryConfig{HTTP: true}), WithRepairManager(mgrCfg))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if sys.MetricsAddr() == "" {
+		return fmt.Errorf("serve: telemetry HTTP listener missing")
+	}
+
+	cl, err := Dial(sys.NameAddr(), code)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	const files = 2
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("smoke-%d", i)
+		data := fileContent(7, names[i], 4*4096)
+		if err := cl.WriteFile(names[i], data); err != nil {
+			return err
+		}
+		if err := cl.RaidFile(names[i]); err != nil {
+			return err
+		}
+	}
+
+	// Kill the holder of the first file's first data block, then read
+	// through the loss: the reads take the degraded path until the
+	// control plane detects the death and repairs the stripes.
+	_, blocks, err := sys.Cluster().FileBlocks(names[0])
+	if err != nil {
+		return err
+	}
+	if len(blocks) == 0 || len(blocks[0].Locations) == 0 {
+		return fmt.Errorf("serve: smoke working set has no locatable first block")
+	}
+	if err := sys.KillDataNode(blocks[0].Locations[0]); err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	repaired := false
+	for time.Now().Before(deadline) {
+		for _, name := range names {
+			if _, err := cl.ReadFile(name); err != nil {
+				return fmt.Errorf("serve: read %s through the failure: %w", name, err)
+			}
+		}
+		st, err := cl.RepairStatus()
+		if err != nil {
+			return err
+		}
+		if st.RepairsDone >= 1 {
+			repaired = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !repaired {
+		return fmt.Errorf("serve: autonomous repair did not complete within the smoke deadline")
+	}
+	if cl.Counters().DegradedBlocks == 0 {
+		return fmt.Errorf("serve: smoke run produced no degraded reads")
+	}
+
+	first, err := scrapeMetrics(sys.MetricsAddr())
+	if err != nil {
+		return err
+	}
+	for _, want := range requiredInstruments {
+		if !findPrefix(first, want) {
+			return fmt.Errorf("serve: /metrics scrape missing instrument %s", want)
+		}
+	}
+	for name, min := range map[string]float64{
+		"serve_degraded_plans_total": 1,
+		"repair_polls_total":         1,
+		"repair_repairs_done_total":  1,
+	} {
+		if first[name] < min {
+			return fmt.Errorf("serve: %s = %v, want >= %v", name, first[name], min)
+		}
+	}
+	if sumPrefix(first, `rpc_requests_total{role="datanode"`) == 0 {
+		return fmt.Errorf("serve: no datanode RPCs recorded on the shared registry")
+	}
+
+	// A surviving datanode's own listener serves the same registry.
+	dnAddr := ""
+	for m := 0; dnAddr == "" && m < sys.Cluster().Machines(); m++ {
+		dnAddr = sys.DataNodeMetricsAddr(m)
+	}
+	if dnAddr == "" {
+		return fmt.Errorf("serve: no datanode debug listener found")
+	}
+	if _, err := scrapeMetrics(dnAddr); err != nil {
+		return fmt.Errorf("serve: datanode scrape: %w", err)
+	}
+
+	// More traffic, then the monotonicity check: between two scrapes no
+	// counter (the _total names) may move backwards.
+	for _, name := range names {
+		if _, err := cl.ReadFile(name); err != nil {
+			return err
+		}
+	}
+	second, err := scrapeMetrics(sys.MetricsAddr())
+	if err != nil {
+		return err
+	}
+	for name, v1 := range first {
+		if !strings.Contains(name, "_total") {
+			continue // gauges may move either way
+		}
+		if v2, ok := second[name]; !ok || v2 < v1 {
+			return fmt.Errorf("serve: counter %s went backwards: %v -> %v", name, v1, second[name])
+		}
+	}
+	return nil
+}

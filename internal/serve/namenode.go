@@ -16,6 +16,7 @@ import (
 	"repro/internal/ec"
 	"repro/internal/hdfs"
 	"repro/internal/repairmgr"
+	"repro/internal/telemetry"
 )
 
 // repairStatusToWire flattens a manager status for the wire: detector
@@ -36,6 +37,10 @@ func repairStatusToWire(st repairmgr.Status) *wireRepairStatus {
 		ScrubReplicas:   st.ScrubbedReplicas,
 		ScrubCorrupt:    st.ScrubCorrupt,
 		ThrottleBps:     st.ThrottleBytesPerSec,
+
+		UptimeSeconds:    st.UptimeSeconds,
+		SecondsSincePoll: st.SecondsSincePoll,
+		PollCount:        st.PollCount,
 	}
 	for _, n := range st.Nodes {
 		w.Nodes = append(w.Nodes, wireNodeState{Machine: n.Machine, State: n.State.String()})
@@ -80,15 +85,23 @@ type NameNode struct {
 	ctl     control
 	mgr     *repairmgr.Manager // nil when the control plane is disabled
 	srv     *server
+	tele    *nodeTelemetry
+
+	// cDegradedPlans counts stripe-layout requests — each one is a
+	// client planning a degraded read (healthy reads never ask).
+	cDegradedPlans *telemetry.Counter
 }
 
 // startNameNode launches the namenode on an ephemeral localhost port.
 // mgr, when non-nil, is the repair control plane the namenode fronts:
 // dn.heartbeat frames feed its failure detector and repair.status
-// exposes its queue/node/throttle state.
-func startNameNode(cluster hdfs.Metadata, code ec.Code, blockSize int64, ctl control, mgr *repairmgr.Manager) (*NameNode, error) {
-	n := &NameNode{cluster: cluster, code: code, bs: blockSize, ctl: ctl, mgr: mgr}
-	srv, err := newServer(n.handle)
+// exposes its queue/node/throttle state. tele may be nil.
+func startNameNode(cluster hdfs.Metadata, code ec.Code, blockSize int64, ctl control, mgr *repairmgr.Manager, tele *nodeTelemetry) (*NameNode, error) {
+	n := &NameNode{cluster: cluster, code: code, bs: blockSize, ctl: ctl, mgr: mgr, tele: tele}
+	if tele != nil && tele.reg != nil {
+		n.cDegradedPlans = tele.reg.Counter("serve_degraded_plans_total")
+	}
+	srv, err := newServer(n.handle, tele)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +152,7 @@ func (n *NameNode) handle(req *request, payload []byte) (*response, []byte) {
 		return resp, nil
 
 	case methodStripe:
+		n.cDegradedPlans.Inc()
 		d, err := n.cluster.Stripe(hdfs.StripeID(req.Stripe))
 		if err != nil {
 			return errResponse(err), nil
@@ -221,5 +235,12 @@ func (n *NameNode) handle(req *request, payload []byte) (*response, []byte) {
 	}
 }
 
+// DebugAddr returns the namenode's debug HTTP address ("" when the
+// system runs without telemetry HTTP listeners).
+func (n *NameNode) DebugAddr() string { return n.tele.debugAddr() }
+
 // close severs the listener and every client connection.
-func (n *NameNode) close() { n.srv.close() }
+func (n *NameNode) close() {
+	n.srv.close()
+	n.tele.close()
+}

@@ -51,6 +51,13 @@ func WithLoadKillAfter(d time.Duration) LoadOption {
 	return func(c *LoadConfig) { c.KillAfter = d }
 }
 
+// WithLoadMetricsDump runs the system with telemetry enabled and
+// attaches the end-of-run registry snapshot to the LoadResult (and so
+// to the BENCH_serve.json payload).
+func WithLoadMetricsDump() LoadOption {
+	return func(c *LoadConfig) { c.MetricsDump = true }
+}
+
 // RepairMgrBenchOption mutates a RepairMgrBenchConfig before
 // defaulting.
 type RepairMgrBenchOption func(*RepairMgrBenchConfig)

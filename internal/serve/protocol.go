@@ -36,6 +36,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // Frame size sanity bounds: a header is small JSON; a payload is at
@@ -62,6 +64,11 @@ const (
 	// methodRepairStatus returns the control plane's status snapshot.
 	methodHeartbeat    = "dn.heartbeat"
 	methodRepairStatus = "repair.status"
+	// methodDebugTrace is answered generically by EVERY daemon (namenode
+	// and datanodes alike): it dumps the process's buffered trace spans,
+	// optionally filtered to one trace id. Errors when the system runs
+	// without telemetry.
+	methodDebugTrace = "debug.trace"
 )
 
 // Datanode RPC method names.
@@ -92,6 +99,15 @@ type request struct {
 	// Partial is the dn.partial fold tree rooted at the addressed
 	// datanode; Length carries the target (folded buffer) size.
 	Partial *wirePartialNode `json:"partial,omitempty"`
+
+	// Trace is the optional trace context of a sampled operation. The
+	// SpanID it carries is the CALLER's span: a daemon minting a span
+	// for the request uses it as the parent, then rewrites the field so
+	// downstream calls made while handling (dn.partial child fetches)
+	// parent correctly.
+	Trace *telemetry.TraceContext `json:"trace,omitempty"`
+	// TraceID filters a debug.trace dump to one trace (0 = everything).
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // wirePartialTerm is one local multiply-accumulate of a partial-sum
@@ -183,6 +199,9 @@ type response struct {
 	MachinesPerRack int               `json:"machines_per_rack,omitempty"`
 	Fix             *wireFixReport    `json:"fix,omitempty"`
 	Repair          *wireRepairStatus `json:"repair,omitempty"`
+	// Spans answers debug.trace: the daemon's buffered spans (the
+	// telemetry.Span JSON encoding is the wire form).
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // wireRepairStatus is the repair control plane's status snapshot —
@@ -207,6 +226,14 @@ type wireRepairStatus struct {
 	ScrubCorrupt    int                `json:"scrub_corrupt,omitempty"`
 	ThrottleBps     float64            `json:"throttle_bytes_per_sec,omitempty"`
 	Completed       []wireCompletedFix `json:"completed,omitempty"`
+
+	// UptimeSeconds is how long the manager has existed;
+	// SecondsSincePoll how long ago the last Poll iteration ran (-1:
+	// never polled). Together they distinguish a stalled poll loop from
+	// an idle one. PollCount counts completed iterations.
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	SecondsSincePoll float64 `json:"seconds_since_poll"`
+	PollCount        int64   `json:"poll_count,omitempty"`
 }
 
 // wireNodeState is one machine's failure-detector state.

@@ -116,6 +116,11 @@ func TestManagedAutoRecoveryAfterKill(t *testing.T) {
 	if st.RepairsDone == 0 || st.Unrecoverable != 0 {
 		t.Fatalf("repair accounting: %+v", st)
 	}
+	// The liveness fields crossed the wire: a live Run loop has polled
+	// (recently — the tick is 20ms) and the manager reports its age.
+	if st.UptimeSeconds <= 0 || st.PollCount == 0 || st.SecondsSincePoll < 0 {
+		t.Fatalf("control-loop liveness missing from repair.status: %+v", st)
+	}
 	if st.Nodes[victim].State != "dead" {
 		t.Fatalf("victim detector state %q, want dead", st.Nodes[victim].State)
 	}

@@ -7,6 +7,7 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -20,6 +21,7 @@ type handlerFunc func(req *request, payload []byte) (*response, []byte)
 type server struct {
 	ln     net.Listener
 	handle handlerFunc
+	tele   *nodeTelemetry // nil disables instrumentation and tracing
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -27,14 +29,17 @@ type server struct {
 	wg     sync.WaitGroup
 }
 
+// errTracingDisabled answers debug.trace on an uninstrumented daemon.
+var errTracingDisabled = errors.New("serve: telemetry disabled")
+
 // newServer listens on an ephemeral localhost port and starts the
-// accept loop.
-func newServer(handle handlerFunc) (*server, error) {
+// accept loop. tele may be nil (no instrumentation).
+func newServer(handle handlerFunc, tele *nodeTelemetry) (*server, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	s := &server{ln: ln, handle: handle, conns: make(map[net.Conn]bool)}
+	s := &server{ln: ln, handle: handle, tele: tele, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,7 +86,7 @@ func (s *server) serveConn(c net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, out := s.safeHandle(&req, payload)
+		resp, out := s.dispatch(&req, payload)
 		if err := writeFrame(bw, resp, out); err != nil {
 			return
 		}

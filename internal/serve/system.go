@@ -11,12 +11,14 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/ec"
 	"repro/internal/hdfs"
 	"repro/internal/repairmgr"
+	"repro/internal/telemetry"
 )
 
 // Option configures a System at Start.
@@ -25,6 +27,7 @@ type Option func(*sysOptions)
 type sysOptions struct {
 	mgrCfg     *repairmgr.Config
 	hbInterval time.Duration
+	teleCfg    *TelemetryConfig
 }
 
 // WithRepairManager runs the autonomous repair control plane inside
@@ -43,6 +46,16 @@ func WithHeartbeatInterval(d time.Duration) Option {
 	return func(o *sysOptions) { o.hbInterval = d }
 }
 
+// WithTelemetry instruments the whole system on one shared metrics
+// registry — every daemon's RPC path, the storage substrate's lock and
+// meta-op stats, the repair engine, and (when the control plane runs)
+// the repair manager — and gives each daemon a bounded span store so
+// sampled requests leave a collectable trace. cfg.HTTP additionally
+// starts a loopback /metrics + /debug/traces listener per daemon.
+func WithTelemetry(cfg TelemetryConfig) Option {
+	return func(o *sysOptions) { o.teleCfg = &cfg }
+}
+
 // System is a running serving cluster.
 type System struct {
 	cluster hdfs.Metadata
@@ -51,8 +64,20 @@ type System struct {
 	mgr     *repairmgr.Manager // nil when the control plane is disabled
 	hbEvery time.Duration
 
+	reg     *telemetry.Registry // nil when telemetry is disabled
+	teleCfg TelemetryConfig
+
 	mu  sync.Mutex
 	dns []*DataNode // nil entry = machine's daemon currently down
+}
+
+// nodeTele builds one daemon's telemetry handle (nil when the system
+// runs without WithTelemetry).
+func (s *System) nodeTele(role, proc string) (*nodeTelemetry, error) {
+	if s.reg == nil {
+		return nil, nil
+	}
+	return newNodeTelemetry(s.reg, s.teleCfg, role, proc)
 }
 
 // Start builds the storage cluster from cfg and brings up one datanode
@@ -63,13 +88,25 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	s := &System{code: cfg.Code}
+	if o.teleCfg != nil {
+		s.reg = telemetry.NewRegistry()
+		s.teleCfg = *o.teleCfg
+		// The substrate and the control plane pick their instruments off
+		// the same registry, so one scrape shows every tier.
+		cfg.Telemetry = s.reg
+	}
 	cluster, err := hdfs.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cluster: cluster, code: cfg.Code}
+	s.cluster = cluster
 	if o.mgrCfg != nil {
-		mgr, err := repairmgr.New(cluster, *o.mgrCfg)
+		mgrCfg := *o.mgrCfg
+		if s.reg != nil {
+			mgrCfg.Telemetry = s.reg
+		}
+		mgr, err := repairmgr.New(cluster, mgrCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -90,15 +127,27 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 	}
 	s.dns = make([]*DataNode, cluster.Machines())
 	for m := range s.dns {
-		dn, err := startDataNode(cluster, m)
+		tele, err := s.nodeTele("datanode", "datanode-"+strconv.Itoa(m))
 		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		dn, err := startDataNode(cluster, m, tele)
+		if err != nil {
+			tele.close()
 			s.Close()
 			return nil, err
 		}
 		s.dns[m] = dn
 	}
-	nn, err := startNameNode(cluster, cfg.Code, cfg.BlockSize, s, s.mgr)
+	nnTele, err := s.nodeTele("namenode", "namenode")
 	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	nn, err := startNameNode(cluster, cfg.Code, cfg.BlockSize, s, s.mgr, nnTele)
+	if err != nil {
+		nnTele.close()
 		s.Close()
 		return nil, err
 	}
@@ -122,6 +171,25 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 // RepairManager exposes the control plane for tests and benchmarks
 // (nil when Start ran without WithRepairManager).
 func (s *System) RepairManager() *repairmgr.Manager { return s.mgr }
+
+// Telemetry returns the system-wide metrics registry (nil when Start
+// ran without WithTelemetry).
+func (s *System) Telemetry() *telemetry.Registry { return s.reg }
+
+// MetricsAddr returns the namenode's debug HTTP address ("" unless
+// WithTelemetry ran with HTTP enabled).
+func (s *System) MetricsAddr() string { return s.nn.DebugAddr() }
+
+// DataNodeMetricsAddr returns one datanode daemon's debug HTTP address
+// ("" when that daemon is down or HTTP is disabled).
+func (s *System) DataNodeMetricsAddr(machine int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if machine < 0 || machine >= len(s.dns) || s.dns[machine] == nil {
+		return ""
+	}
+	return s.dns[machine].DebugAddr()
+}
 
 // NameAddr returns the namenode's address — the only address a Client
 // needs.
@@ -185,8 +253,13 @@ func (s *System) restartDataNode(machine int) error {
 	if s.dns[machine] != nil {
 		return nil // already up
 	}
-	dn, err := startDataNode(s.cluster, machine)
+	tele, err := s.nodeTele("datanode", "datanode-"+strconv.Itoa(machine))
 	if err != nil {
+		return err
+	}
+	dn, err := startDataNode(s.cluster, machine, tele)
+	if err != nil {
+		tele.close()
 		return err
 	}
 	s.cluster.RestoreMachine(machine)

@@ -1,0 +1,106 @@
+// Live exposure: a loopback HTTP listener serving the registry at
+// /metrics (Prometheus text format; ?format=json for the snapshot
+// JSON) and the span store at /debug/traces (JSON; ?trace=<id> filters
+// to one trace). Each serving daemon runs its own DebugServer, so
+// scraping a datanode shows that process's view.
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// DebugServer is one process's observability endpoint.
+type DebugServer struct {
+	reg   *Registry
+	spans *SpanStore
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// NewDebugServer starts an HTTP listener on an ephemeral loopback port
+// serving /metrics and /debug/traces. Either source may be nil (the
+// endpoint then serves an empty view). Close releases the listener.
+func NewDebugServer(reg *Registry, spans *SpanStore) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{reg: reg, spans: spans, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/debug/traces", d.handleTraces)
+	d.srv = &http.Server{Handler: mux}
+	go func() {
+		// Serve returns when Close tears the listener down; the error is
+		// the expected ErrServerClosed/closed-listener signal.
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// Addr returns the listener address ("127.0.0.1:port").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and severs open scrape connections.
+func (d *DebugServer) Close() error {
+	return d.srv.Close()
+}
+
+// handleMetrics renders the registry snapshot: Prometheus text by
+// default, the snapshot JSON with ?format=json.
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := d.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		blob, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(blob); err != nil {
+			return // scraper hung up mid-body; nothing to recover
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if _, err := w.Write(snap.PrometheusText()); err != nil {
+		return
+	}
+}
+
+// traceDump is the /debug/traces payload.
+type traceDump struct {
+	Spans   []Span `json:"spans"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
+// handleTraces dumps the buffered spans, optionally filtered to one
+// trace id (?trace=<id>, decimal).
+func (d *DebugServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	dump := traceDump{Dropped: d.spans.Dropped()}
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		dump.Spans = d.spans.Trace(id)
+	} else {
+		dump.Spans = d.spans.Spans()
+	}
+	if dump.Spans == nil {
+		dump.Spans = []Span{}
+	}
+	blob, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(blob, '\n')); err != nil {
+		return
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrapes_total").Add(2)
+	spans := NewSpanStore(8)
+	spans.Add(Span{TraceID: 5, SpanID: 1, Name: "root"})
+	spans.Add(Span{TraceID: 6, SpanID: 2, Name: "other"})
+
+	d, err := NewDebugServer(reg, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "scrapes_total 2") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	if snap.Counters["scrapes_total"] != 2 {
+		t.Fatalf("json snapshot wrong: %+v", snap)
+	}
+
+	code, body = get(t, base+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var dump struct {
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 2 {
+		t.Fatalf("trace dump has %d spans, want 2", len(dump.Spans))
+	}
+
+	code, body = get(t, base+"/debug/traces?trace=5")
+	if code != http.StatusOK {
+		t.Fatalf("filtered traces = %d", code)
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "root" {
+		t.Fatalf("trace filter wrong: %+v", dump.Spans)
+	}
+
+	code, _ = get(t, base+"/debug/traces?trace=notanumber")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace id = %d, want 400", code)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0 (reserved for no-parent)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanStoreBounded(t *testing.T) {
+	s := NewSpanStore(4)
+	for i := 1; i <= 10; i++ {
+		s.Add(Span{SpanID: uint64(i)})
+	}
+	got := s.Spans()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	// Oldest first: 7, 8, 9, 10 survive.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got[i].SpanID != want {
+			t.Fatalf("span %d = %d, want %d", i, got[i].SpanID, want)
+		}
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", s.Dropped())
+	}
+}
+
+func TestSpanStoreTraceFilter(t *testing.T) {
+	s := NewSpanStore(16)
+	s.Add(Span{TraceID: 1, SpanID: 1})
+	s.Add(Span{TraceID: 2, SpanID: 2})
+	s.Add(Span{TraceID: 1, SpanID: 3})
+	got := s.Trace(1)
+	if len(got) != 2 || got[0].SpanID != 1 || got[1].SpanID != 3 {
+		t.Fatalf("trace filter wrong: %+v", got)
+	}
+}
+
+func TestBuildTreeValid(t *testing.T) {
+	spans := []Span{
+		{TraceID: 9, SpanID: 1, Name: "root", StartUnixNano: 10},
+		{TraceID: 9, SpanID: 2, ParentID: 1, Name: "a", StartUnixNano: 30},
+		{TraceID: 9, SpanID: 3, ParentID: 1, Name: "b", StartUnixNano: 20},
+		{TraceID: 9, SpanID: 4, ParentID: 3, Name: "b.1", StartUnixNano: 25},
+	}
+	root, err := BuildTree(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "root" || len(root.Children) != 2 {
+		t.Fatalf("bad root: %+v", root)
+	}
+	// Children sorted by start time: b (20) before a (30).
+	if root.Children[0].Name != "b" || root.Children[1].Name != "a" {
+		t.Fatalf("children unsorted: %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	count := 0
+	root.Walk(func(*SpanNode) { count++ })
+	if count != 4 {
+		t.Fatalf("walk visited %d, want 4", count)
+	}
+}
+
+func TestBuildTreeRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		spans []Span
+		want  string
+	}{
+		{"empty", nil, "no spans"},
+		{"orphan", []Span{
+			{SpanID: 1},
+			{SpanID: 2, ParentID: 99},
+		}, "orphan"},
+		{"two roots", []Span{
+			{SpanID: 1},
+			{SpanID: 2},
+		}, "multiple roots"},
+		{"no root", []Span{
+			{SpanID: 1, ParentID: 2},
+			{SpanID: 2, ParentID: 1},
+		}, "no root"},
+		{"cycle", []Span{
+			{SpanID: 1},
+			{SpanID: 2, ParentID: 3},
+			{SpanID: 3, ParentID: 2},
+		}, "unreachable"},
+		{"dup ids", []Span{
+			{SpanID: 1},
+			{SpanID: 1, ParentID: 1},
+		}, "duplicate"},
+	}
+	for _, tc := range cases {
+		if _, err := BuildTree(tc.spans); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // ServeSystem is a live serving cluster: a metadata plane (MiniHDFS or
@@ -124,6 +125,48 @@ type ServePartialSumBenchReport = serve.PartialSumBenchReport
 func RunServePartialSumBench(codecs []Codec, cfg LoadConfig) (*ServePartialSumBenchReport, error) {
 	return serve.RunPartialSumBench(codecs, cfg)
 }
+
+// --- Telemetry ---------------------------------------------------------
+
+// TelemetryConfig configures a serving system's observability plane
+// (see WithTelemetry). The zero value enables the in-process metrics
+// registry and span stores without HTTP listeners.
+type TelemetryConfig = serve.TelemetryConfig
+
+// MetricsSnapshot is a point-in-time copy of a telemetry registry:
+// every counter, gauge, and histogram with its current value. It
+// renders as Prometheus text or JSON and merges across processes.
+type MetricsSnapshot = telemetry.Snapshot
+
+// TraceSpan is one timed hop of a sampled degraded read: which
+// process did what, under which parent span, moving how many bytes.
+type TraceSpan = telemetry.Span
+
+// WithTelemetry runs the serving system with the end-to-end telemetry
+// plane: a shared metrics registry instrumenting every tier, per-
+// daemon span stores for RPC trace propagation, and (with cfg.HTTP)
+// loopback /metrics + /debug/traces listeners on the namenode and
+// every datanode. Addresses come from ServeSystem.MetricsAddr and
+// ServeSystem.DataNodeMetricsAddr.
+func WithTelemetry(cfg TelemetryConfig) ServeOption { return serve.WithTelemetry(cfg) }
+
+// WithTraceSampling makes a client mint a trace for every n-th
+// degraded read; the propagated spans are later assembled with
+// ServeClient.CollectTrace. n = 1 traces every degraded read.
+func WithTraceSampling(every int) ServeClientOption { return serve.WithTraceSampling(every) }
+
+// WithLoadMetricsDump runs the load under WithTelemetry and attaches
+// the end-of-run registry snapshot to the LoadResult (and so to the
+// BENCH_serve.json payload). cmd/loadgen exposes it as -metrics-dump.
+func WithLoadMetricsDump() LoadOption { return serve.WithLoadMetricsDump() }
+
+// RunServeMetricsSmoke drives the end-to-end telemetry smoke check
+// for one codec: an instrumented cluster with HTTP listeners is
+// pushed through a kill / degraded-read / autonomous-repair cycle and
+// scraped twice, gated on instrument presence, cycle activity, and
+// counter monotonicity. cmd/loadgen exposes it as -metricssmoke
+// (`make metrics-smoke`).
+func RunServeMetricsSmoke(code Codec) error { return serve.RunMetricsSmoke(code) }
 
 // --- Sharded-metadata benchmark ----------------------------------------
 
