@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke metrics-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench ci
+.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke metrics-smoke persist-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench persist-bench ci
 
 build:
 	$(GO) build ./...
@@ -83,7 +83,7 @@ bench:
 # One-iteration pass over every benchmark so bench code cannot rot,
 # plus a 2-second loadgen run on a tiny live TCP cluster so the serving
 # layer's end-to-end path (kill mid-run included) cannot rot either.
-benchsmoke: repairmgr-smoke shards-smoke metrics-smoke
+benchsmoke: repairmgr-smoke shards-smoke metrics-smoke persist-smoke
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
 
@@ -107,6 +107,13 @@ metrics-smoke:
 # metadata throughput drops below 1-shard (the monotonic-scaling gate).
 shards-smoke:
 	$(GO) run ./cmd/loadgen -shardbench -shards 1,4 -duration 2s -out none
+
+# Short persistence run: appends under all three fsync policies and
+# recovery scans at two store sizes; the command exits non-zero unless
+# every reopen rebuilds the full block index from the segment files
+# with zero CRC failures.
+persist-smoke:
+	$(GO) run ./cmd/loadgen -persistbench -blocksize 8192 -persist-appends 128 -persist-scan 64,256 -out none
 
 # Regenerate BENCH_engine.json (batch repair throughput, serial vs
 # engine-parallel).
@@ -139,5 +146,10 @@ repairmgr-bench:
 # across shard counts on the Zipf many-files workload).
 shards-bench:
 	$(GO) run ./cmd/loadgen -shardbench
+
+# Regenerate BENCH_persist.json (extent-store append throughput per
+# fsync policy and recovery-scan time per store size).
+persist-bench:
+	$(GO) run ./cmd/loadgen -persistbench
 
 ci: build vet staticcheck lint fmtcheck test race benchsmoke fuzz-smoke

@@ -16,12 +16,20 @@
 // BENCH_shards.json and failing unless throughput rises monotonically
 // with shard count.
 //
+// With -persistbench it benchmarks the datanode persistence layer: the
+// extent store's append throughput under each fsync policy and its
+// recovery-scan time at increasing store sizes, writing
+// BENCH_persist.json and failing unless every reopen rebuilds the full
+// index with zero CRC failures.
+//
 // Usage:
 //
 //	loadgen [-codecs rs,pbrs,lrc] [-k K] [-r R] [-clients N] [-duration D]
 //	        [-files N] [-filesize BYTES] [-blocksize BYTES] [-racks N]
 //	        [-machines N] [-writefrac F] [-kill D] [-seed N] [-out FILE]
 //	loadgen -shardbench [-shards 1,4,16] [-duration D] [-seed N] [-out FILE]
+//	loadgen -persistbench [-blocksize BYTES] [-persist-appends N]
+//	        [-persist-scan 256,1024,4096] [-seed N] [-out FILE]
 //	loadgen -metricssmoke [-codecs rs,pbrs,lrc] [-k K] [-r R]
 package main
 
@@ -54,6 +62,9 @@ func main() {
 	throttle := flag.Float64("throttle", 0, "repairmgr: background repair cap in bytes/sec (0 = harness default)")
 	shardbench := flag.Bool("shardbench", false, "benchmark the sharded metadata plane: Zipf metadata workload at each -shards count, gated on monotonic ops/sec scaling (writes BENCH_shards.json)")
 	shardCounts := flag.String("shards", "1,4,16", "shardbench: comma-separated metadata shard counts to measure, in order")
+	persistbench := flag.Bool("persistbench", false, "benchmark the persistent extent store: append throughput per fsync policy (never/interval/always) and recovery-scan time per store size, gated on full index rebuild and zero CRC failures (writes BENCH_persist.json)")
+	persistAppends := flag.Int("persist-appends", 512, "persistbench: blocks appended per fsync policy")
+	persistScan := flag.String("persist-scan", "256,1024,4096", "persistbench: comma-separated store sizes (blocks) whose recovery scan is timed")
 	metricsDump := flag.Bool("metrics-dump", false, "run the cluster with telemetry enabled and append the end-of-run /metrics registry snapshot to each codec's results row")
 	metricsSmoke := flag.Bool("metricssmoke", false, "run the end-to-end telemetry smoke check per codec: instrumented cluster, kill + degraded reads + autonomous repair, double /metrics scrape gated on instrument presence and counter monotonicity (writes no results file)")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
@@ -72,6 +83,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -metricssmoke is mutually exclusive with the benchmark modes")
 		os.Exit(2)
 	}
+	if *persistbench && (*metricsSmoke || *shardbench || *repairbench || *partialbench || *partialsum) {
+		fmt.Fprintln(os.Stderr, "loadgen: -persistbench is mutually exclusive with the other modes")
+		os.Exit(2)
+	}
 	outFile := *out
 	if outFile == "" {
 		switch {
@@ -81,12 +96,16 @@ func main() {
 			outFile = "BENCH_repairmgr.json"
 		case *shardbench:
 			outFile = "BENCH_shards.json"
+		case *persistbench:
+			outFile = "BENCH_persist.json"
 		default:
 			outFile = "BENCH_serve.json"
 		}
 	}
 	var err error
 	switch {
+	case *persistbench:
+		err = runPersistBench(*blocksize, *persistAppends, *persistScan, *seed, outFile)
 	case *metricsSmoke:
 		err = runMetricsSmoke(*k, *r, *codecNames)
 	case *shardbench:
@@ -189,7 +208,10 @@ func runShardBench(shardCounts string, duration time.Duration, seed int64, outFi
 }
 
 // parseShardCounts parses the -shards list ("1,4,16").
-func parseShardCounts(s string) ([]int, error) {
+func parseShardCounts(s string) ([]int, error) { return parseIntList(s, "shard count") }
+
+// parseIntList parses a comma-separated positive-integer list flag.
+func parseIntList(s, what string) ([]int, error) {
 	var counts []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -198,14 +220,53 @@ func parseShardCounts(s string) ([]int, error) {
 		}
 		var n int
 		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid shard count %q (want a positive integer list like 1,4,16)", part)
+			return nil, fmt.Errorf("invalid %s %q (want a positive integer list like 1,4,16)", what, part)
 		}
 		counts = append(counts, n)
 	}
 	if len(counts) == 0 {
-		return nil, fmt.Errorf("no shard counts given")
+		return nil, fmt.Errorf("no %ss given", what)
 	}
 	return counts, nil
+}
+
+// runPersistBench measures the datanode persistence layer: append
+// throughput under each fsync policy and the recovery scan (index
+// rebuild on reopen) at each store size, then applies the gate — every
+// reopen must rebuild the full index and every recovered payload must
+// pass its record CRC.
+func runPersistBench(blocksize int64, appends int, scanSizes string, seed int64, outFile string) error {
+	sizes, err := parseIntList(scanSizes, "store size")
+	if err != nil {
+		return err
+	}
+	cfg := repro.PersistBenchConfig{
+		BlockBytes:   blocksize,
+		AppendBlocks: appends,
+		ScanBlocks:   sizes,
+		Seed:         seed,
+	}
+	fmt.Printf("Persistent extent store: %d x %s appends per fsync policy, recovery scans at %v blocks\n\n",
+		appends, byteCount(blocksize), sizes)
+	rep, err := repro.RunPersistBench(cfg)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(rep.FormatTable())
+
+	if err := rep.CheckRecovery(); err != nil {
+		return err
+	}
+	fmt.Println("\nevery reopen rebuilt the full index from disk; zero recovered payloads failed CRC")
+
+	if outFile != "" && outFile != "none" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outFile)
+	}
+	return nil
 }
 
 // buildCodecs filters repro.StandardCodecs — the one place the

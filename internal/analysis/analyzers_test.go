@@ -33,6 +33,14 @@ func TestFrameCheckTelemetryGolden(t *testing.T) {
 	runGolden(t, FrameCheck(), "testdata/framecheck", "repro/internal/telemetry")
 }
 
+// The extent store parses length-prefixed record headers read back
+// from disk — the same attacker-shaped input as a wire frame — so
+// framecheck targets it too: the identical golden sources must fire
+// under its import path.
+func TestFrameCheckExtentGolden(t *testing.T) {
+	runGolden(t, FrameCheck(), "testdata/framecheck", "repro/internal/extent")
+}
+
 func TestNoAllocGolden(t *testing.T) {
 	runGolden(t, NoAlloc(), "testdata/noalloc", "repro/internal/gf256")
 }

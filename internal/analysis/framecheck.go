@@ -31,11 +31,15 @@ func (frameCheck) Doc() string {
 }
 
 // frameTargetPaths are the packages the rule applies to: the serve
-// wire path and the telemetry plane it carries (trace headers ride the
-// same frames; the debug HTTP handlers marshal registry state).
+// wire path, the telemetry plane it carries (trace headers ride the
+// same frames; the debug HTTP handlers marshal registry state), and
+// the extent store (segment headers are length-prefixed disk frames —
+// a decoded length allocates the read buffer, so the same
+// bounds-before-allocation discipline applies).
 var frameTargetPaths = map[string]bool{
 	"repro/internal/serve":     true,
 	"repro/internal/telemetry": true,
+	"repro/internal/extent":    true,
 }
 
 // wireCallErrLast are wire-path calls returning (n, err).

@@ -60,6 +60,7 @@ var layerRank = map[string]int{
 	"repro/internal/testutil/leakcheck": 0,
 	"repro/internal/matrix":             1,
 	"repro/internal/ec":                 1,
+	"repro/internal/extent":             1,
 	"repro/internal/rs":                 2,
 	"repro/internal/layout":             2,
 	"repro/internal/reliability":        2,

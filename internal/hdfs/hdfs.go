@@ -52,25 +52,35 @@ type StripeID int64
 // noStripe marks a block that is not part of any stripe.
 const noStripe StripeID = -1
 
-// dataNode is one storage machine. Bytes live in memory; liveness is a
-// flag so failures are reversible (unavailability) or permanent
-// (decommission) at the caller's choice.
+// dataNode is one storage machine. Bytes live in a pluggable
+// BlockStore (in-memory by default, extent-file-backed when the
+// cluster is built with a StoreFactory); liveness is a flag so
+// failures are reversible (unavailability) or permanent (decommission)
+// at the caller's choice. A persistent node additionally distinguishes
+// crashed — the store handle is closed and only a reopen (disk
+// re-scan) brings the bytes back, which is what makes kill/restart
+// honest instead of a liveness-flag flip.
 type dataNode struct {
 	id int
 
-	mu     sync.Mutex
-	alive  bool
-	blocks map[BlockID][]byte
+	mu      sync.Mutex
+	alive   bool
+	crashed bool
+	store   BlockStore
+	// reopen rebuilds the store from durable state after a crash; nil
+	// for volatile stores, whose bytes survive a "crash" by fiat.
+	reopen func() (BlockStore, error)
+
+	cCorruptReads *telemetry.Counter
 }
 
-func (d *dataNode) store(id BlockID, data []byte) error {
+func (d *dataNode) storeBlock(id BlockID, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.alive {
 		return fmt.Errorf("%w: node %d", ErrNodeDown, d.id)
 	}
-	d.blocks[id] = append([]byte(nil), data...)
-	return nil
+	return d.store.Put(id, data)
 }
 
 // readRange returns length bytes at offset, zero-padded past the
@@ -87,9 +97,16 @@ func (d *dataNode) readRange(id BlockID, offset, length int64) ([]byte, error) {
 	if !d.alive {
 		return nil, fmt.Errorf("%w: node %d", ErrNodeDown, d.id)
 	}
-	data, ok := d.blocks[id]
-	if !ok {
-		return nil, fmt.Errorf("hdfs: node %d does not hold block %d", d.id, id)
+	data, err := d.store.Get(id)
+	if err != nil {
+		if errors.Is(err, ErrCorruptReplica) {
+			d.cCorruptReads.Inc()
+			return nil, err
+		}
+		if errors.Is(err, ErrNotStored) {
+			return nil, fmt.Errorf("hdfs: node %d does not hold block %d", d.id, id)
+		}
+		return nil, err
 	}
 	out := make([]byte, length)
 	if offset < int64(len(data)) {
@@ -101,14 +118,41 @@ func (d *dataNode) readRange(id BlockID, offset, length int64) ([]byte, error) {
 func (d *dataNode) delete(id BlockID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	delete(d.blocks, id)
+	if d.crashed {
+		return
+	}
+	// A failed durable delete leaves a stale replica the scrubber will
+	// find; it must not fail the metadata-side delete.
+	_ = d.store.Delete(id)
 }
 
 func (d *dataNode) has(id BlockID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, ok := d.blocks[id]
-	return ok
+	if d.crashed {
+		return false
+	}
+	return d.store.Has(id)
+}
+
+// blockIDs snapshots the stored block ids; ok is false while crashed
+// (the store handle is gone — callers fall back to namenode metadata).
+func (d *dataNode) blockIDs() (ids []BlockID, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, false
+	}
+	return d.store.IDs(), true
+}
+
+func (d *dataNode) storedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0
+	}
+	return d.store.StoredBytes()
 }
 
 func (d *dataNode) setAlive(alive bool) {
@@ -123,10 +167,52 @@ func (d *dataNode) isAlive() bool {
 	return d.alive
 }
 
+// crash closes the store handle, discarding every in-memory structure;
+// durable bytes stay on disk for recover to re-scan. Volatile nodes
+// (reopen == nil) keep their map — there is nothing to recover from.
+func (d *dataNode) crash() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.reopen == nil || d.crashed {
+		return nil
+	}
+	d.crashed = true
+	return d.store.Close()
+}
+
+// recover reopens the store from disk, rebuilding the index by
+// sequential segment scan. On failure the node stays crashed.
+func (d *dataNode) recover() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.crashed {
+		return nil
+	}
+	st, err := d.reopen()
+	if err != nil {
+		return err
+	}
+	d.store = st
+	d.crashed = false
+	return nil
+}
+
 func (d *dataNode) wipe() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.blocks = make(map[BlockID][]byte)
+	if d.crashed {
+		// Decommissioning a crashed persistent node: reopen best-effort
+		// so the durable replicas are actually destroyed, not orphaned.
+		st, err := d.reopen()
+		if err != nil {
+			return
+		}
+		d.store = st
+		d.crashed = false
+	}
+	for _, id := range d.store.IDs() {
+		_ = d.store.Delete(id)
+	}
 }
 
 // blockMeta is the namenode's record of one block.
@@ -225,6 +311,12 @@ type Config struct {
 	// (hdfs_lock_wait_seconds, hdfs_meta_ops) and the repair engine's
 	// instruments. Prefer WithTelemetry(reg).
 	Telemetry *telemetry.Registry
+	// StoreFactory, when non-nil, builds each datanode's BlockStore
+	// (ExtentStoreFactory for the persistent extent store). Nil keeps
+	// the volatile in-memory store. The factory must be reopen-safe:
+	// RecoverMachine calls it again after CrashMachine to rebuild the
+	// node's index from durable state. Prefer WithStoreFactory(f).
+	StoreFactory func(machine int) (BlockStore, error)
 }
 
 // Validate reports whether the configuration is usable.
@@ -338,7 +430,11 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newShard(cfg, net, newDataNodes(cfg.Topology.Machines()), 0, 1), nil
+	nodes, err := newDataNodes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newShard(cfg, net, nodes, 0, 1), nil
 }
 
 // Open builds the metadata plane cfg asks for: a single Cluster when
@@ -355,13 +451,34 @@ func Open(cfg Config, opts ...Option) (Metadata, error) {
 }
 
 // newDataNodes builds the physical stores — shared across every
-// metadata shard of a ShardedCluster.
-func newDataNodes(n int) []*dataNode {
-	nodes := make([]*dataNode, n)
-	for i := range nodes {
-		nodes[i] = &dataNode{id: i, alive: true, blocks: make(map[BlockID][]byte)}
+// metadata shard of a ShardedCluster. With no StoreFactory every node
+// gets the volatile in-memory store; a factory makes nodes persistent
+// and crash-recoverable (CrashMachine/RecoverMachine).
+func newDataNodes(cfg Config) ([]*dataNode, error) {
+	var cCorrupt *telemetry.Counter
+	if cfg.Telemetry != nil {
+		cCorrupt = cfg.Telemetry.Counter("hdfs_corrupt_reads_total")
 	}
-	return nodes
+	nodes := make([]*dataNode, cfg.Topology.Machines())
+	for i := range nodes {
+		n := &dataNode{id: i, alive: true, cCorruptReads: cCorrupt}
+		if cfg.StoreFactory != nil {
+			machine := i
+			n.reopen = func() (BlockStore, error) { return cfg.StoreFactory(machine) }
+			st, err := n.reopen()
+			if err != nil {
+				for _, prev := range nodes[:i] {
+					_ = prev.store.Close()
+				}
+				return nil, fmt.Errorf("hdfs: opening store for machine %d: %w", i, err)
+			}
+			n.store = st
+		} else {
+			n.store = newMemStore()
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
 }
 
 // newShard builds one metadata shard over (possibly shared) datanodes
@@ -505,7 +622,7 @@ func (c *Cluster) WriteFile(name string, data []byte) error {
 			return c.rollbackWriteLocked(fm, err)
 		}
 		for _, m := range machines {
-			if err := c.nodes[m].store(id, data[off:end]); err != nil {
+			if err := c.nodes[m].storeBlock(id, data[off:end]); err != nil {
 				return c.rollbackWriteLocked(fm, err)
 			}
 			bm.locations = append(bm.locations, m)
@@ -768,7 +885,7 @@ func (c *Cluster) raidStripeLocked(group []BlockID) error {
 			if err := c.net.Transfer(src, dst, bm.size); err != nil {
 				return err
 			}
-			if err := c.nodes[dst].store(id, buf); err != nil {
+			if err := c.nodes[dst].storeBlock(id, buf); err != nil {
 				return err
 			}
 		}
@@ -792,7 +909,7 @@ func (c *Cluster) raidStripeLocked(group []BlockID) error {
 		if err := c.net.Transfer(encoder, dst, shardSize); err != nil {
 			return err
 		}
-		if err := c.nodes[dst].store(id, shards[pos]); err != nil {
+		if err := c.nodes[dst].storeBlock(id, shards[pos]); err != nil {
 			return err
 		}
 		bm := &blockMeta{
@@ -899,12 +1016,26 @@ func (c *Cluster) stripeFetch(sm *stripeMeta, dst int, record func(src int, byte
 // reconstructBlockLocked rebuilds a striped block's full shard at the
 // given machine, charging all fetches to the network. The result has
 // shardSize bytes; callers truncate to the block's logical size.
+//
+// The target position is FORCED erased for the repair plan regardless
+// of what the metadata thinks: the caller only lands here after every
+// listed replica failed to serve (dead mid-read, or the store refused
+// the bytes on checksum grounds), and the codec rejects repairing a
+// position its alive-view reports present. A replica that cannot be
+// read is a replica that does not exist.
 func (c *Cluster) reconstructBlockLocked(bm *blockMeta, at int) ([]byte, error) {
 	if bm.stripe == noStripe {
 		return nil, fmt.Errorf("%w: block %d is not striped", ErrBlockLost, bm.id)
 	}
 	sm := c.stripes[bm.stripe]
-	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, c.stripeAliveLocked(sm), c.stripeFetchLocked(sm, at, nil))
+	alive := c.stripeAliveLocked(sm)
+	aliveExceptTarget := func(pos int) bool {
+		if pos == bm.stripePos {
+			return false
+		}
+		return alive(pos)
+	}
+	return c.cfg.Code.ExecuteRepair(bm.stripePos, sm.shardSize, aliveExceptTarget, c.stripeFetchLocked(sm, at, nil))
 }
 
 // FailMachine marks a machine unavailable. Its blocks become
@@ -920,11 +1051,64 @@ func (c *Cluster) FailMachine(id int) {
 	c.nodes[id].setAlive(false)
 }
 
-// RestoreMachine brings a machine back with its blocks intact.
+// RestoreMachine brings a machine back with its blocks intact. If the
+// machine had crashed (CrashMachine on a persistent store) its store
+// is reopened first; a node whose disk cannot be re-scanned stays dead.
 func (c *Cluster) RestoreMachine(id int) {
 	c.lockMeta()
 	defer c.mu.Unlock()
+	if err := c.nodes[id].recover(); err != nil {
+		return
+	}
 	c.nodes[id].setAlive(true)
+}
+
+// CrashMachine is FailMachine plus the part FailMachine cannot honestly
+// model for a persistent node: the store handle is closed and every
+// in-memory index structure is discarded. Only RecoverMachine's disk
+// re-scan brings the replicas back. For a volatile (in-memory) node it
+// degenerates to FailMachine — there is no durable state to lose.
+func (c *Cluster) CrashMachine(id int) error {
+	c.lockMeta()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no machine %d", id)
+	}
+	c.nodes[id].setAlive(false)
+	return c.nodes[id].crash()
+}
+
+// RecoverMachine reopens a crashed machine's store — rebuilding its
+// block index by sequentially scanning the segment files on disk — and
+// marks it alive. The machine stays dead if the scan fails.
+func (c *Cluster) RecoverMachine(id int) error {
+	c.lockMeta()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no machine %d", id)
+	}
+	if err := c.nodes[id].recover(); err != nil {
+		return err
+	}
+	c.nodes[id].setAlive(true)
+	return nil
+}
+
+// Close releases every datanode's store. The cluster must not be used
+// afterwards.
+func (c *Cluster) Close() error {
+	c.lockMeta()
+	defer c.mu.Unlock()
+	var first error
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		err := n.store.Close()
+		n.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // DecommissionMachine permanently removes a machine: its blocks are
@@ -1468,7 +1652,7 @@ func (c *Cluster) applyStripeFixLocked(f *stripeFix, shards map[int][]byte, repo
 				continue
 			}
 		}
-		if err := c.nodes[dst].store(bm.id, content); err != nil {
+		if err := c.nodes[dst].storeBlock(bm.id, content); err != nil {
 			report.Unrecoverable = append(report.Unrecoverable, bm.id)
 			continue
 		}
@@ -1498,7 +1682,7 @@ func (c *Cluster) reReplicateLocked(bm *blockMeta, live []int, target int) error
 		if err := c.net.Transfer(src, dst, bm.size); err != nil {
 			return err
 		}
-		if err := c.nodes[dst].store(bm.id, buf); err != nil {
+		if err := c.nodes[dst].storeBlock(bm.id, buf); err != nil {
 			return err
 		}
 		current = append(current, dst)
@@ -1643,11 +1827,7 @@ func (c *Cluster) TotalStoredBytes() int64 {
 func (c *Cluster) sumStoredBytes() int64 {
 	var total int64
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		for _, b := range n.blocks {
-			total += int64(len(b))
-		}
-		n.mu.Unlock()
+		total += n.storedBytes()
 	}
 	return total
 }
@@ -1785,12 +1965,17 @@ func (c *Cluster) MachineInventory(m int) MachineInventory {
 	c.rlockMeta()
 	defer c.mu.RUnlock()
 	node := c.nodes[m]
-	node.mu.Lock()
-	ids := make([]BlockID, 0, len(node.blocks))
-	for id := range node.blocks {
-		ids = append(ids, id)
+	ids, ok := node.blockIDs()
+	if !ok {
+		// The machine is crashed: its store handle is gone, so the only
+		// honest inventory source is namenode metadata. O(cluster
+		// blocks) — acceptable for a machine that is down anyway.
+		for id, bm := range c.blocks {
+			if containsInt(bm.locations, m) {
+				ids = append(ids, id)
+			}
+		}
 	}
-	node.mu.Unlock()
 	var inv MachineInventory
 	seen := make(map[StripeID]bool)
 	for _, id := range ids {

@@ -755,7 +755,7 @@ func TestBlockFixerParallelismParity(t *testing.T) {
 func TestReadRangeRejectsInvalidRanges(t *testing.T) {
 	// Regression: a negative offset used to panic with a slice
 	// out-of-range inside data[offset:]; it must return an error.
-	d := &dataNode{id: 0, alive: true, blocks: map[BlockID][]byte{7: []byte("abcdef")}}
+	d := &dataNode{id: 0, alive: true, store: &memStore{blocks: map[BlockID][]byte{7: []byte("abcdef")}}}
 	if _, err := d.readRange(7, -1, 4); err == nil {
 		t.Fatal("negative offset accepted")
 	}

@@ -99,8 +99,19 @@ type AdminOps interface {
 	FailMachine(id int)
 	// RestoreMachine revives a machine with its blocks intact.
 	RestoreMachine(id int)
+	// CrashMachine marks a machine dead AND closes its block store,
+	// discarding all in-memory index state; a persistent store's bytes
+	// stay on disk for RecoverMachine. Volatile stores degenerate to
+	// FailMachine.
+	CrashMachine(id int) error
+	// RecoverMachine reopens a crashed machine's store (persistent
+	// stores rebuild their index by scanning segment files) and marks
+	// it alive.
+	RecoverMachine(id int) error
 	// DecommissionMachine kills a machine and drops its blocks.
 	DecommissionMachine(id int)
+	// Close releases every datanode's block store.
+	Close() error
 	// AdvanceClock moves the logical raid-policy clock.
 	AdvanceClock(d time.Duration)
 	// Now reads the logical clock.

@@ -75,3 +75,10 @@ func WithFabric(t *netsim.Topology) Option {
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *Config) { c.Telemetry = reg }
 }
+
+// WithStoreFactory backs every datanode with the BlockStore the
+// factory builds (see Config.StoreFactory); use ExtentStoreFactory for
+// the persistent extent store.
+func WithStoreFactory(f func(machine int) (BlockStore, error)) Option {
+	return func(c *Config) { c.StoreFactory = f }
+}

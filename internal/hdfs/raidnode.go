@@ -149,7 +149,20 @@ func (c *Cluster) RunScrubber() (*ScrubReport, error) {
 			}
 			buf, err := node.readRange(id, 0, bm.size)
 			if err != nil {
-				return nil, err
+				// A storage-level checksum failure (persistent store found
+				// rot on disk) is exactly what the scrubber hunts: evict.
+				// Any other error (machine died mid-pass) is the failure
+				// detector's case — keep the replica and keep scanning
+				// instead of aborting the whole pass.
+				if errors.Is(err, ErrCorruptReplica) {
+					report.ScannedReplicas++
+					node.delete(id)
+					report.CorruptReplicas++
+					affected = true
+				} else {
+					clean = append(clean, m)
+				}
+				continue
 			}
 			report.ScannedReplicas++
 			if crc32.ChecksumIEEE(buf) != bm.checksum {
@@ -207,12 +220,10 @@ func (c *Cluster) scrubMachineLocked(m int, report *ScrubReport, affected map[Bl
 	if !node.isAlive() {
 		return
 	}
-	node.mu.Lock()
-	ids := make([]BlockID, 0, len(node.blocks))
-	for id := range node.blocks {
-		ids = append(ids, id)
+	ids, ok := node.blockIDs()
+	if !ok {
+		return // crashed store; nothing scannable until recovery
 	}
-	node.mu.Unlock()
 	sortBlockIDs(ids)
 	for _, id := range ids {
 		bm, ok := c.blocks[id]
@@ -221,10 +232,17 @@ func (c *Cluster) scrubMachineLocked(m int, report *ScrubReport, affected map[Bl
 		}
 		buf, err := node.readRange(id, 0, bm.size)
 		if err != nil {
-			continue // machine died mid-slice; the detector owns it
+			if !errors.Is(err, ErrCorruptReplica) {
+				continue // machine died mid-slice; the detector owns it
+			}
+			// Storage-level rot: fall through to eviction with an empty
+			// buffer, which cannot match the recorded checksum.
+			report.ScannedReplicas++
+			buf = nil
+		} else {
+			report.ScannedReplicas++
 		}
-		report.ScannedReplicas++
-		if crc32.ChecksumIEEE(buf) == bm.checksum {
+		if buf != nil && crc32.ChecksumIEEE(buf) == bm.checksum {
 			continue
 		}
 		node.delete(id)
@@ -253,15 +271,13 @@ func (c *Cluster) InjectBitRot(machine int, id BlockID, offset int64) error {
 	node := c.nodes[machine]
 	node.mu.Lock()
 	defer node.mu.Unlock()
-	data, ok := node.blocks[id]
-	if !ok {
+	if node.crashed || !node.store.Has(id) {
 		return fmt.Errorf("hdfs: node %d does not hold block %d", machine, id)
 	}
-	if offset < 0 || offset >= int64(len(data)) {
-		return fmt.Errorf("hdfs: offset %d outside block of %d bytes", offset, len(data))
-	}
-	data[offset] ^= 0xFF
-	return nil
+	// Corrupt the STORED bytes — for a persistent store that flips a
+	// byte in the segment file on disk, so only a read path that
+	// actually verifies disk contents can notice.
+	return node.store.Corrupt(id, offset)
 }
 
 // BlocksOn returns the ids of blocks with a replica on the machine,
@@ -270,11 +286,17 @@ func (c *Cluster) BlocksOn(machine int) []BlockID {
 	c.rlockMeta()
 	defer c.mu.RUnlock()
 	node := c.nodes[machine]
-	node.mu.Lock()
-	defer node.mu.Unlock()
-	out := make([]BlockID, 0, len(node.blocks))
-	for id := range node.blocks {
-		out = append(out, id)
+	out, ok := node.blockIDs()
+	if !ok {
+		// Crashed persistent store: the index handle is gone, but the
+		// namenode's metadata still knows what the machine held — and
+		// the repair control plane asks exactly this question about
+		// machines that just died (grace-window repair estimates).
+		for id, bm := range c.blocks {
+			if containsInt(bm.locations, machine) {
+				out = append(out, id)
+			}
+		}
 	}
 	sortBlockIDs(out)
 	return out

@@ -75,7 +75,10 @@ func NewSharded(cfg Config, opts ...Option) (*ShardedCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodes := newDataNodes(cfg.Topology.Machines())
+	nodes, err := newDataNodes(cfg)
+	if err != nil {
+		return nil, err
+	}
 	n := cfg.Shards
 	shards := make([]*Cluster, n)
 	for i := range shards {
@@ -272,12 +275,53 @@ func (s *ShardedCluster) RestoreMachine(id int) {
 	}
 }
 
+// CrashMachine fails the machine in every shard's view, then closes
+// the SHARED physical store exactly once.
+func (s *ShardedCluster) CrashMachine(id int) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("hdfs: no machine %d", id)
+	}
+	for _, sh := range s.shards {
+		sh.FailMachine(id)
+	}
+	return s.nodes[id].crash()
+}
+
+// RecoverMachine reopens the shared store once, then revives the
+// machine in every shard's view.
+func (s *ShardedCluster) RecoverMachine(id int) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("hdfs: no machine %d", id)
+	}
+	if err := s.nodes[id].recover(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.RestoreMachine(id)
+	}
+	return nil
+}
+
 // DecommissionMachine wipes and kills a machine in every shard's view
 // (the wipe of the shared store is idempotent).
 func (s *ShardedCluster) DecommissionMachine(id int) {
 	for _, sh := range s.shards {
 		sh.DecommissionMachine(id)
 	}
+}
+
+// Close releases the shared datanode stores (once — not per shard).
+func (s *ShardedCluster) Close() error {
+	var first error
+	for _, n := range s.nodes {
+		n.mu.Lock()
+		err := n.store.Close()
+		n.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // MachineInventory fans out and merges: each shard reports the stripes

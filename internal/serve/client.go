@@ -13,12 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ec"
 	"repro/internal/engine"
+	"repro/internal/hdfs"
 	"repro/internal/telemetry"
 )
 
@@ -61,10 +63,20 @@ func dialConn(addr string, timeout time.Duration) (*conn, error) {
 // call performs one RPC round trip. A transport failure leaves the
 // connection unusable; callers drop it from their pool. A RemoteError
 // means the far side answered and said no.
+//
+// The deadline is refreshed per PHASE of the exchange, not set once
+// for the whole call: the write phase gets a fresh budget, and the
+// read phase gets another one armed only after the request is fully
+// flushed. A single up-front deadline silently shrinks the read budget
+// by however long the write took, and — the regression that motivated
+// this — any deadline left armed on the pooled connection after a call
+// poisons the NEXT exchange on a client held open past its timeout.
+// Both deadlines are disarmed on success so an idle pooled connection
+// carries no ticking clock.
 func (c *conn) call(req *request, payload []byte, timeout time.Duration) (*response, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, nil, err
 	}
 	if err := writeFrame(c.bw, req, payload); err != nil {
@@ -73,9 +85,15 @@ func (c *conn) call(req *request, payload []byte, timeout time.Duration) (*respo
 	if err := c.bw.Flush(); err != nil {
 		return nil, nil, err
 	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, nil, err
+	}
 	var resp response
 	out, err := readFrame(c.br, &resp)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.nc.SetDeadline(time.Time{}); err != nil {
 		return nil, nil, err
 	}
 	if !resp.OK {
@@ -85,6 +103,15 @@ func (c *conn) call(req *request, payload []byte, timeout time.Duration) (*respo
 }
 
 func (c *conn) close() { c.nc.Close() }
+
+// isCorruptReplicaErr reports whether a datanode RPC failed because
+// the replica's stored bytes failed checksum verification. The typed
+// sentinel does not survive the wire, so the remote message carries
+// the signal.
+func isCorruptReplicaErr(err error) bool {
+	var remote *RemoteError
+	return errors.As(err, &remote) && strings.Contains(remote.Msg, hdfs.ErrCorruptReplica.Error())
+}
 
 // Counters are a client's cumulative operation counts. DegradedBlocks
 // counts block reads that were served by reconstruction rather than a
@@ -100,6 +127,7 @@ type Counters struct {
 	DegradedBlocks       int64 // block reads served via reconstruction
 	PartialSumBlocks     int64 // degraded reads served by the partial-sum pipeline
 	DegradedBytesFetched int64 // bytes received at this client for reconstructions
+	CorruptReplicas      int64 // replica reads refused by a datanode's checksum verification
 }
 
 // ClientOption configures a Client at dial time.
@@ -113,6 +141,18 @@ type ClientOption func(*Client)
 // the tree falls back to the conventional fan-in transparently.
 func WithPartialSumRepair() ClientOption {
 	return func(c *Client) { c.partialSum = true }
+}
+
+// WithTimeout overrides the per-exchange RPC deadline (default 10s).
+// The budget applies to each phase of each request/response exchange
+// separately — a client is never penalised for its own lifetime, only
+// a single wedged write or read can trip it.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
 }
 
 // WithTraceSampling samples every Nth degraded read (1 = every one)
@@ -158,6 +198,7 @@ type Client struct {
 	cDegradedBlocks *telemetry.Counter
 	cPartialBlocks  *telemetry.Counter
 	cDegradedBytes  *telemetry.Counter
+	cCorruptReps    *telemetry.Counter
 
 	// Trace sampling state (WithTraceSampling): every Nth degraded
 	// read propagates a trace context and records a client root span.
@@ -184,6 +225,7 @@ func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) 
 	c.cDegradedBlocks = c.reg.Counter("client_degraded_blocks_total")
 	c.cPartialBlocks = c.reg.Counter("client_partialsum_blocks_total")
 	c.cDegradedBytes = c.reg.Counter("client_degraded_bytes_total")
+	c.cCorruptReps = c.reg.Counter("client_corrupt_replicas_total")
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -213,6 +255,7 @@ func (c *Client) Counters() Counters {
 		DegradedBlocks:       c.cDegradedBlocks.Value(),
 		PartialSumBlocks:     c.cPartialBlocks.Value(),
 		DegradedBytesFetched: c.cDegradedBytes.Value(),
+		CorruptReplicas:      c.cCorruptReps.Value(),
 	}
 }
 
@@ -601,7 +644,10 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 			b = blocks[index]
 		}
 
-		// Healthy path: rotate across live replicas.
+		// Healthy path: rotate across live replicas. A replica the
+		// datanode refuses on checksum grounds is as gone as one on a
+		// dead machine — count it and keep rotating; the stripe fallback
+		// below reconstructs around it.
 		if n := len(b.Locations); n > 0 {
 			start := int(c.rr.Add(1)) % n
 			for i := 0; i < n; i++ {
@@ -610,6 +656,9 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 				if err == nil {
 					c.cBlocksRead.Inc()
 					return data, nil
+				}
+				if isCorruptReplicaErr(err) {
+					c.cCorruptReps.Inc()
 				}
 				lastErr = err
 			}
@@ -688,8 +737,17 @@ func (c *Client) degradedReadTraced(b wireBlock, tc *telemetry.TraceContext, fet
 	if st.ShardSize <= 0 || st.ShardSize > maxPayloadBytes {
 		return nil, fmt.Errorf("serve: stripe %d reports shard size %d out of bounds", b.Stripe, st.ShardSize)
 	}
+	// The target position is forced erased regardless of the layout's
+	// listed holders: the caller only reaches the degraded path after
+	// every replica failed to serve — dead daemon, or the datanode
+	// refused the stored bytes on checksum grounds. The codec rejects
+	// repairing a position whose alive-view says present, and a replica
+	// that cannot be read does not count as present.
 	alive := func(pos int) bool {
 		if pos < 0 || pos >= len(st.Positions) {
+			return false
+		}
+		if pos == b.StripePos {
 			return false
 		}
 		p := st.Positions[pos]

@@ -1,0 +1,316 @@
+// The persistence benchmark behind BENCH_persist.json: the extent
+// store measured on the two axes an operator tunes it by. First,
+// append throughput under each fsync policy — never (page cache),
+// interval (bounded loss window), always (sync per append) — because
+// the policy is the knob that trades datanode write latency against
+// the bytes a crash can lose. Second, recovery-scan time as a function
+// of store size, because the startup scan is what a "restart from
+// disk" costs: the in-memory index is rebuilt by sequentially reading
+// every segment header, and that time is the window in which a
+// restarted datanode holds data it cannot yet serve.
+//
+// The gates are correctness, not speed: every append must land, every
+// reopen must rebuild the full index from disk, and every recovered
+// payload must still pass its record CRC. Throughput numbers are
+// reported, not gated — they depend on the machine and filesystem
+// under the run.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/extent"
+)
+
+// PersistBenchConfig parameterises the persistence benchmark. The zero
+// value runs a small default matrix.
+type PersistBenchConfig struct {
+	// Dir is the scratch root for segment directories (default: a
+	// fresh temp dir, removed afterwards).
+	Dir string
+	// BlockBytes is the payload size per append (default 64 KiB — the
+	// serving layer's default block payload bound).
+	BlockBytes int64
+	// AppendBlocks is how many blocks each fsync policy appends
+	// (default 512).
+	AppendBlocks int
+	// ScanBlocks are the store sizes (in blocks) whose recovery scan
+	// is timed (default 256, 1024, 4096).
+	ScanBlocks []int
+	// SegmentBytes seals segments at this size so the scan walks a
+	// realistic multi-segment layout (default 8 MiB).
+	SegmentBytes int64
+	// Seed drives payload content.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (cfg PersistBenchConfig) withDefaults() PersistBenchConfig {
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64 << 10
+	}
+	if cfg.AppendBlocks == 0 {
+		cfg.AppendBlocks = 512
+	}
+	if len(cfg.ScanBlocks) == 0 {
+		cfg.ScanBlocks = []int{256, 1024, 4096}
+	}
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 8 << 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	return cfg
+}
+
+// PersistAppendRow is one fsync policy's append measurement.
+type PersistAppendRow struct {
+	// Policy is the fsync policy name (never, interval, always).
+	Policy string `json:"policy"`
+	// Blocks and Bytes are what the run appended.
+	Blocks int   `json:"blocks"`
+	Bytes  int64 `json:"bytes"`
+	// DurationSecs is the append wall time; AppendsPerSec and
+	// MBPerSec are the headline rates.
+	DurationSecs  float64 `json:"duration_secs"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// PersistScanRow is one store size's recovery-scan measurement.
+type PersistScanRow struct {
+	// Blocks is the store's live block count; DiskBytes its on-disk
+	// footprint; Segments its segment-file count.
+	Blocks    int   `json:"blocks"`
+	DiskBytes int64 `json:"disk_bytes"`
+	Segments  int   `json:"segments"`
+	// ScanMillis is the reopen (index-rebuild) wall time;
+	// ScanMBPerSec normalises it by the disk footprint.
+	ScanMillis   float64 `json:"scan_ms"`
+	ScanMBPerSec float64 `json:"scan_mb_per_sec"`
+	// RecoveredBlocks is the index cardinality after the scan (must
+	// equal Blocks); CorruptPayloads is VerifyAll's failure count over
+	// the recovered store (must be 0).
+	RecoveredBlocks int `json:"recovered_blocks"`
+	CorruptPayloads int `json:"corrupt_payloads"`
+}
+
+// PersistBenchReport is the machine-readable BENCH_persist.json
+// payload.
+type PersistBenchReport struct {
+	Benchmark   string `json:"benchmark"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	BlockBytes   int64 `json:"block_bytes"`
+	AppendBlocks int   `json:"append_blocks"`
+	SegmentBytes int64 `json:"segment_bytes"`
+
+	Appends []PersistAppendRow `json:"appends"`
+	Scans   []PersistScanRow   `json:"scans"`
+}
+
+// runPersistAppend measures one fsync policy: a fresh store, one timed
+// Put per block, Sync + Close included in the timed window (a policy's
+// cost is not honest if its deferred syncs are left pending).
+func runPersistAppend(cfg PersistBenchConfig, dir string, policy extent.FsyncPolicy) (PersistAppendRow, error) {
+	row := PersistAppendRow{Policy: policy.String(), Blocks: cfg.AppendBlocks}
+	st, err := extent.Open(extent.Options{
+		Dir:          dir,
+		Fsync:        policy,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return row, err
+	}
+	payload := fileContent(cfg.Seed, "persistbench-"+policy.String(), cfg.BlockBytes)
+	start := time.Now()
+	for i := 0; i < cfg.AppendBlocks; i++ {
+		if err := st.Put(int64(i), payload); err != nil {
+			st.Close()
+			return row, fmt.Errorf("append %d under %s: %w", i, policy, err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		st.Close()
+		return row, err
+	}
+	elapsed := time.Since(start)
+	if err := st.Close(); err != nil {
+		return row, err
+	}
+	row.Bytes = int64(cfg.AppendBlocks) * cfg.BlockBytes
+	row.DurationSecs = elapsed.Seconds()
+	if row.DurationSecs > 0 {
+		row.AppendsPerSec = float64(row.Blocks) / row.DurationSecs
+		row.MBPerSec = float64(row.Bytes) / (1 << 20) / row.DurationSecs
+	}
+	return row, nil
+}
+
+// runPersistScan measures one store size: build a store of n blocks
+// (with a sprinkling of overwrites and tombstones so the scan must
+// apply supersession, as a real recovery does), close it, then time
+// the reopen that rebuilds the index from disk.
+func runPersistScan(cfg PersistBenchConfig, dir string, n int) (PersistScanRow, error) {
+	row := PersistScanRow{Blocks: n}
+	opts := extent.Options{Dir: dir, SegmentBytes: cfg.SegmentBytes}
+	st, err := extent.Open(opts)
+	if err != nil {
+		return row, err
+	}
+	payload := fileContent(cfg.Seed, "persistscan", cfg.BlockBytes)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < n; i++ {
+		if err := st.Put(int64(i), payload); err != nil {
+			st.Close()
+			return row, err
+		}
+		// Every 16th block is overwritten once and every 32nd deleted
+		// then re-put: recovery must chase latest-wins chains, not
+		// just count records.
+		if i%16 == 7 {
+			victim := int64(rng.Intn(i + 1))
+			if err := st.Put(victim, payload); err != nil {
+				st.Close()
+				return row, err
+			}
+		}
+		if i%32 == 15 {
+			victim := int64(rng.Intn(i + 1))
+			if err := st.Delete(victim); err != nil {
+				st.Close()
+				return row, err
+			}
+			if err := st.Put(victim, payload); err != nil {
+				st.Close()
+				return row, err
+			}
+		}
+	}
+	stats := st.Stats()
+	row.DiskBytes = stats.DiskBytes
+	row.Segments = stats.Segments
+	if err := st.Close(); err != nil {
+		return row, err
+	}
+
+	start := time.Now()
+	st, err = extent.Open(opts)
+	if err != nil {
+		return row, fmt.Errorf("recovery reopen of %d-block store: %w", n, err)
+	}
+	elapsed := time.Since(start)
+	row.ScanMillis = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 {
+		row.ScanMBPerSec = float64(row.DiskBytes) / (1 << 20) / elapsed.Seconds()
+	}
+	row.RecoveredBlocks = st.Len()
+	corrupt, err := st.VerifyAll()
+	if err != nil {
+		st.Close()
+		return row, err
+	}
+	row.CorruptPayloads = len(corrupt)
+	return row, st.Close()
+}
+
+// RunPersistBench measures append throughput under every fsync policy
+// and recovery-scan time at every configured store size.
+func RunPersistBench(cfg PersistBenchConfig) (*PersistBenchReport, error) {
+	cfg = cfg.withDefaults()
+	root := cfg.Dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "persistbench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+	report := &PersistBenchReport{
+		Benchmark:    "persistent-extent-store",
+		Seed:         cfg.Seed,
+		BlockBytes:   cfg.BlockBytes,
+		AppendBlocks: cfg.AppendBlocks,
+		SegmentBytes: cfg.SegmentBytes,
+	}
+	for _, policy := range []extent.FsyncPolicy{extent.FsyncNever, extent.FsyncInterval, extent.FsyncAlways} {
+		dir := fmt.Sprintf("%s/append-%s", root, policy)
+		row, err := runPersistAppend(cfg, dir, policy)
+		if err != nil {
+			return nil, fmt.Errorf("serve: persist bench: %w", err)
+		}
+		report.Appends = append(report.Appends, row)
+	}
+	for _, n := range cfg.ScanBlocks {
+		dir := fmt.Sprintf("%s/scan-%d", root, n)
+		row, err := runPersistScan(cfg, dir, n)
+		if err != nil {
+			return nil, fmt.Errorf("serve: persist bench: %w", err)
+		}
+		report.Scans = append(report.Scans, row)
+	}
+	return report, nil
+}
+
+// CheckRecovery is the acceptance gate: every policy appended its full
+// block count, every recovery scan rebuilt exactly the live index, and
+// every recovered payload still passes its record CRC.
+func (r *PersistBenchReport) CheckRecovery() error {
+	for _, row := range r.Appends {
+		if row.Blocks != r.AppendBlocks {
+			return fmt.Errorf("serve: persist bench: %s policy appended %d blocks, want %d",
+				row.Policy, row.Blocks, r.AppendBlocks)
+		}
+	}
+	for _, row := range r.Scans {
+		if row.RecoveredBlocks != row.Blocks {
+			return fmt.Errorf("serve: persist bench: recovery scan of %d-block store rebuilt %d index entries",
+				row.Blocks, row.RecoveredBlocks)
+		}
+		if row.CorruptPayloads != 0 {
+			return fmt.Errorf("serve: persist bench: %d recovered payloads failed CRC in %d-block store",
+				row.CorruptPayloads, row.Blocks)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report, pretty-printed, to path.
+func (r *PersistBenchReport) WriteJSON(path string) error { return writeJSON(path, r) }
+
+// FormatTable renders the two measurements.
+func (r *PersistBenchReport) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "append throughput (%d x %s blocks per policy)\n", r.AppendBlocks, byteCount(r.BlockBytes))
+	fmt.Fprintf(&b, "%10s %12s %12s %12s\n", "fsync", "appends/sec", "MB/sec", "wall")
+	for _, row := range r.Appends {
+		fmt.Fprintf(&b, "%10s %12.0f %12.1f %11.1fms\n",
+			row.Policy, row.AppendsPerSec, row.MBPerSec, row.DurationSecs*1e3)
+	}
+	fmt.Fprintf(&b, "\nrecovery scan (index rebuild on reopen)\n")
+	fmt.Fprintf(&b, "%10s %10s %10s %12s %12s\n", "blocks", "disk", "segments", "scan", "MB/sec")
+	for _, row := range r.Scans {
+		fmt.Fprintf(&b, "%10d %10s %10d %10.1fms %12.0f\n",
+			row.Blocks, byteCount(row.DiskBytes), row.Segments, row.ScanMillis, row.ScanMBPerSec)
+	}
+	return b.String()
+}
+
+// byteCount renders a byte count compactly.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/ec"
+	"repro/internal/extent"
 	"repro/internal/hdfs"
 	"repro/internal/repairmgr"
 	"repro/internal/telemetry"
@@ -28,6 +29,8 @@ type sysOptions struct {
 	mgrCfg     *repairmgr.Config
 	hbInterval time.Duration
 	teleCfg    *TelemetryConfig
+	dataDir    string
+	fsync      extent.FsyncPolicy
 }
 
 // WithRepairManager runs the autonomous repair control plane inside
@@ -44,6 +47,24 @@ func WithRepairManager(cfg repairmgr.Config) Option {
 // (default: a third of the manager's SuspectAfter).
 func WithHeartbeatInterval(d time.Duration) Option {
 	return func(o *sysOptions) { o.hbInterval = d }
+}
+
+// WithDataDir backs every datanode with a persistent extent store
+// under dir (one dn-NNN subdirectory per machine) instead of the
+// volatile in-memory store. With persistence, KillDataNode genuinely
+// discards the machine's in-memory block index and RestartDataNode
+// genuinely rebuilds it by scanning the machine's segment files — a
+// restart within the repair manager's grace window therefore proves
+// the bytes survived, rather than asserting it about a map that was
+// never dropped.
+func WithDataDir(dir string) Option {
+	return func(o *sysOptions) { o.dataDir = dir }
+}
+
+// WithFsyncPolicy selects the extent store's durability mode (default
+// FsyncInterval). Only meaningful together with WithDataDir.
+func WithFsyncPolicy(p extent.FsyncPolicy) Option {
+	return func(o *sysOptions) { o.fsync = p }
 }
 
 // WithTelemetry instruments the whole system on one shared metrics
@@ -95,6 +116,12 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 		// The substrate and the control plane pick their instruments off
 		// the same registry, so one scrape shows every tier.
 		cfg.Telemetry = s.reg
+	}
+	if o.dataDir != "" {
+		cfg.StoreFactory = hdfs.ExtentStoreFactory(o.dataDir, extent.Options{
+			Fsync:     o.fsync,
+			Telemetry: s.reg,
+		})
 	}
 	cluster, err := hdfs.Open(cfg)
 	if err != nil {
@@ -220,7 +247,10 @@ func (s *System) dataNodeAddrs() []string {
 
 // KillDataNode fails the machine and tears down its daemon: the
 // namenode stops listing it first (so refreshed metadata is
-// consistent), then every open connection to it is severed.
+// consistent), then every open connection to it is severed. With a
+// persistent store (WithDataDir) the kill is a real crash: the store
+// handle closes and the machine's in-memory block index is discarded —
+// only the segment files on disk survive.
 func (s *System) KillDataNode(machine int) error { return s.killDataNode(machine) }
 
 func (s *System) killDataNode(machine int) error {
@@ -232,16 +262,21 @@ func (s *System) killDataNode(machine int) error {
 	dn := s.dns[machine]
 	s.dns[machine] = nil
 	s.mu.Unlock()
-	s.cluster.FailMachine(machine)
+	if err := s.cluster.CrashMachine(machine); err != nil {
+		return err
+	}
 	if dn != nil {
 		dn.close()
 	}
 	return nil
 }
 
-// RestartDataNode brings the machine back with its blocks intact and
-// relaunches its daemon on a fresh port; clients discover the new
-// address through the namenode's info method.
+// RestartDataNode brings the machine back and relaunches its daemon on
+// a fresh port; clients discover the new address through the
+// namenode's info method. With a persistent store the machine's block
+// index is RECONSTRUCTED by sequentially scanning its segment files —
+// the restart serves exactly what the disk holds, not what a
+// conveniently retained map remembers.
 func (s *System) RestartDataNode(machine int) error { return s.restartDataNode(machine) }
 
 func (s *System) restartDataNode(machine int) error {
@@ -253,6 +288,9 @@ func (s *System) restartDataNode(machine int) error {
 	if s.dns[machine] != nil {
 		return nil // already up
 	}
+	if err := s.cluster.RecoverMachine(machine); err != nil {
+		return err
+	}
 	tele, err := s.nodeTele("datanode", "datanode-"+strconv.Itoa(machine))
 	if err != nil {
 		return err
@@ -262,7 +300,6 @@ func (s *System) restartDataNode(machine int) error {
 		tele.close()
 		return err
 	}
-	s.cluster.RestoreMachine(machine)
 	s.dns[machine] = dn
 	if s.mgr != nil {
 		// Re-register with the failure detector: restart the heartbeat
@@ -293,6 +330,9 @@ func (s *System) Close() error {
 		if dn != nil {
 			dn.close()
 		}
+	}
+	if s.cluster != nil {
+		return s.cluster.Close()
 	}
 	return nil
 }

@@ -168,6 +168,27 @@ func WithLoadMetricsDump() LoadOption { return serve.WithLoadMetricsDump() }
 // (`make metrics-smoke`).
 func RunServeMetricsSmoke(code Codec) error { return serve.RunMetricsSmoke(code) }
 
+// --- Persistence benchmark ---------------------------------------------
+
+// PersistBenchConfig parameterises the persistence benchmark: the
+// datanode extent store's append throughput under each fsync policy
+// and its recovery-scan (index rebuild) time at increasing store
+// sizes. The zero value runs a small default matrix.
+type PersistBenchConfig = serve.PersistBenchConfig
+
+// PersistBenchReport is the machine-readable BENCH_persist.json
+// payload. CheckRecovery is its acceptance gate (full index rebuilt on
+// every reopen, zero CRC failures); FormatTable renders both
+// measurements.
+type PersistBenchReport = serve.PersistBenchReport
+
+// RunPersistBench measures the extent store's append throughput per
+// fsync policy and recovery-scan time per store size; cmd/loadgen
+// -persistbench writes the result to BENCH_persist.json.
+func RunPersistBench(cfg PersistBenchConfig) (*PersistBenchReport, error) {
+	return serve.RunPersistBench(cfg)
+}
+
 // --- Sharded-metadata benchmark ----------------------------------------
 
 // ShardBenchConfig parameterises the sharded-metadata benchmark: a
