@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke metrics-smoke persist-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench persist-bench ci
+.PHONY: build vet staticcheck lint fmt fmtcheck test cover race fuzz-smoke bench benchsmoke repairmgr-smoke shards-smoke metrics-smoke persist-smoke cache-smoke engine-bench contention-bench serve-bench partialsum-bench repairmgr-bench shards-bench persist-bench cache-bench ci
 
 build:
 	$(GO) build ./...
@@ -83,7 +83,7 @@ bench:
 # One-iteration pass over every benchmark so bench code cannot rot,
 # plus a 2-second loadgen run on a tiny live TCP cluster so the serving
 # layer's end-to-end path (kill mid-run included) cannot rot either.
-benchsmoke: repairmgr-smoke shards-smoke metrics-smoke persist-smoke
+benchsmoke: repairmgr-smoke shards-smoke metrics-smoke persist-smoke cache-smoke
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/loadgen -k 4 -r 2 -clients 2 -duration 2s -files 3 -filesize 32768 -blocksize 8192 -out none
 
@@ -107,6 +107,15 @@ metrics-smoke:
 # metadata throughput drops below 1-shard (the monotonic-scaling gate).
 shards-smoke:
 	$(GO) run ./cmd/loadgen -shardbench -shards 1,4 -duration 2s -out none
+
+# Short cache/hedge run: the Zipf read workload with the hottest
+# machine throttled (slow, not dead), one codec, hedging off then on;
+# the command exits non-zero on any client-visible error, a client
+# cache hit ratio under 50%, a run where the slow node never triggered
+# a hedge (or reconstruction never won one), or a hedged p99 that did
+# not beat the unhedged run.
+cache-smoke:
+	$(GO) run ./cmd/loadgen -cachebench -codecs rs -duration 2s -out none
 
 # Short persistence run: appends under all three fsync policies and
 # recovery scans at two store sizes; the command exits non-zero unless
@@ -151,5 +160,10 @@ shards-bench:
 # fsync policy and recovery-scan time per store size).
 persist-bench:
 	$(GO) run ./cmd/loadgen -persistbench
+
+# Regenerate BENCH_cache.json (cache hit ratios and the hedged-read
+# p99/p99.9 cut under a Zipf workload with a throttled hot machine).
+cache-bench:
+	$(GO) run ./cmd/loadgen -cachebench
 
 ci: build vet staticcheck lint fmtcheck test race benchsmoke fuzz-smoke

@@ -22,6 +22,13 @@
 // BENCH_persist.json and failing unless every reopen rebuilds the full
 // index with zero CRC failures.
 //
+// With -cachebench it benchmarks the caching tier and the hedged-read
+// engine: a Zipf-skewed pure-read workload over a cluster whose hottest
+// machine is throttled (slow, not dead), run twice per codec — hedging
+// off then on — with both cache tiers hot, writing BENCH_cache.json and
+// failing unless the client cache hit ratio clears its floor and
+// hedging cuts the slow-node read p99.
+//
 // Usage:
 //
 //	loadgen [-codecs rs,pbrs,lrc] [-k K] [-r R] [-clients N] [-duration D]
@@ -30,6 +37,8 @@
 //	loadgen -shardbench [-shards 1,4,16] [-duration D] [-seed N] [-out FILE]
 //	loadgen -persistbench [-blocksize BYTES] [-persist-appends N]
 //	        [-persist-scan 256,1024,4096] [-seed N] [-out FILE]
+//	loadgen -cachebench [-codecs rs,pbrs,lrc] [-zipf S] [-node-throttle D]
+//	        [-hedge D] [-cache BYTES] [-node-cache BYTES] [-out FILE]
 //	loadgen -metricssmoke [-codecs rs,pbrs,lrc] [-k K] [-r R]
 package main
 
@@ -65,10 +74,16 @@ func main() {
 	persistbench := flag.Bool("persistbench", false, "benchmark the persistent extent store: append throughput per fsync policy (never/interval/always) and recovery-scan time per store size, gated on full index rebuild and zero CRC failures (writes BENCH_persist.json)")
 	persistAppends := flag.Int("persist-appends", 512, "persistbench: blocks appended per fsync policy")
 	persistScan := flag.String("persist-scan", "256,1024,4096", "persistbench: comma-separated store sizes (blocks) whose recovery scan is timed")
+	cachebench := flag.Bool("cachebench", false, "benchmark the caching tier and hedged reads: Zipf read workload with the hottest machine throttled, each codec run with hedging off and on, gated on cache hit ratio and the hedged p99 cut (writes BENCH_cache.json)")
+	zipfS := flag.Float64("zipf", 0, "cachebench: Zipf popularity exponent over the working set (0 = default 1.01)")
+	nodeThrottle := flag.Duration("node-throttle", 0, "cachebench: per-data-RPC delay injected on the hottest file's machine (0 = default 150ms)")
+	hedge := flag.Duration("hedge", 0, "cachebench: hedged-read delay before reconstruction races the slow primary (0 = default 20ms)")
+	clientCache := flag.Int64("cache", 0, "cachebench: client block-cache bytes per worker (0 = default 8MiB)")
+	nodeCache := flag.Int64("node-cache", 0, "cachebench: datanode read-cache bytes per node (0 = default 8MiB)")
 	metricsDump := flag.Bool("metrics-dump", false, "run the cluster with telemetry enabled and append the end-of-run /metrics registry snapshot to each codec's results row")
 	metricsSmoke := flag.Bool("metricssmoke", false, "run the end-to-end telemetry smoke check per codec: instrumented cluster, kill + degraded reads + autonomous repair, double /metrics scrape gated on instrument presence and counter monotonicity (writes no results file)")
 	seed := flag.Int64("seed", 1, "placement/content/mix seed")
-	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; BENCH_shards.json with -shardbench; "none" disables)`)
+	out := flag.String("out", "", `results file (default BENCH_serve.json; BENCH_partialsum.json with -partialbench; BENCH_repairmgr.json with -repairmgr; BENCH_shards.json with -shardbench; BENCH_cache.json with -cachebench; "none" disables)`)
 	flag.Parse()
 
 	if *repairbench && (*partialbench || *partialsum) {
@@ -87,6 +102,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -persistbench is mutually exclusive with the other modes")
 		os.Exit(2)
 	}
+	if *cachebench && (*persistbench || *metricsSmoke || *shardbench || *repairbench || *partialbench || *partialsum) {
+		fmt.Fprintln(os.Stderr, "loadgen: -cachebench is mutually exclusive with the other modes")
+		os.Exit(2)
+	}
 	outFile := *out
 	if outFile == "" {
 		switch {
@@ -98,12 +117,27 @@ func main() {
 			outFile = "BENCH_shards.json"
 		case *persistbench:
 			outFile = "BENCH_persist.json"
+		case *cachebench:
+			outFile = "BENCH_cache.json"
 		default:
 			outFile = "BENCH_serve.json"
 		}
 	}
 	var err error
 	switch {
+	case *cachebench:
+		// The cachebench sizes its own working set (it must overflow
+		// the client cache to mean anything), so the generic -files
+		// default only applies when the user set it explicitly.
+		cbFiles := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "files" {
+				cbFiles = *files
+			}
+		})
+		err = runCacheBench(*k, *r, *codecNames, *clients, *duration, cbFiles, *filesize,
+			*blocksize, *racks, *machines, *zipfS, *nodeThrottle, *hedge, *clientCache,
+			*nodeCache, *seed, outFile)
 	case *persistbench:
 		err = runPersistBench(*blocksize, *persistAppends, *persistScan, *seed, outFile)
 	case *metricsSmoke:
@@ -259,6 +293,64 @@ func runPersistBench(blocksize int64, appends int, scanSizes string, seed int64,
 		return err
 	}
 	fmt.Println("\nevery reopen rebuilt the full index from disk; zero recovered payloads failed CRC")
+
+	if outFile != "" && outFile != "none" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outFile)
+	}
+	return nil
+}
+
+// runCacheBench measures the caching tier and the hedged-read engine:
+// per codec, the identical Zipf + throttled-hot-machine pure-read
+// workload runs with hedging off then on, both times with the client
+// and datanode caches enabled, then the gates apply — zero
+// client-visible errors, the client cache hit ratio above its floor,
+// and hedging actually cutting the slow node's read p99.
+func runCacheBench(k, r int, codecNames string, clients int, duration time.Duration,
+	files int, filesize, blocksize int64, racks, machines int, zipfS float64,
+	nodeThrottle, hedge time.Duration, clientCache, nodeCache int64,
+	seed int64, outFile string) error {
+	codecs, err := buildCodecs(codecNames, k, r)
+	if err != nil {
+		return err
+	}
+	cfg := repro.LoadConfig{
+		Racks:            racks,
+		MachinesPerRack:  machines,
+		BlockSize:        blocksize,
+		Files:            files,
+		FileBytes:        filesize,
+		Clients:          clients,
+		Duration:         duration,
+		ZipfS:            zipfS,
+		ThrottleDelay:    nodeThrottle,
+		HedgeDelay:       hedge,
+		ClientCacheBytes: clientCache,
+		NodeCacheBytes:   nodeCache,
+		Seed:             seed,
+	}
+	fmt.Printf("Cache/hedge benchmark: %d clients, %v per run, 2 runs per codec (hedging off/on)\n\n",
+		clients, duration)
+	rep, err := repro.RunServeCacheBench(codecs, cfg)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Printf("Zipf s=%.2f, hot machine throttled %.0fms/RPC, hedge delay %.0fms, caches %s client / %s node\n\n",
+		rep.ZipfS, rep.ThrottleMillis, rep.HedgeDelayMillis,
+		byteCount(rep.ClientCacheBytes), byteCount(rep.NodeCacheBytes))
+	fmt.Print(rep.FormatTable())
+
+	if err := rep.CheckErrors(); err != nil {
+		return err
+	}
+	if err := rep.CheckEffective(0.5); err != nil {
+		return err
+	}
+	fmt.Println("\nzero client-visible errors; cache hit ratio cleared 50% and hedging cut the slow-node read p99 for every codec")
 
 	if outFile != "" && outFile != "none" {
 		if err := rep.WriteJSON(outFile); err != nil {

@@ -10,6 +10,13 @@ func TestLockDisciplineGolden(t *testing.T) {
 	runGolden(t, LockDiscipline(), "testdata/lockdiscipline", "repro/internal/hdfs")
 }
 
+// The block cache carries its own lock-confinement rule (shard-mutex
+// operations only inside shard methods, no decode under a shard lock),
+// pinned by a separate golden tree parsed under the cache import path.
+func TestLockDisciplineCacheGolden(t *testing.T) {
+	runGolden(t, LockDiscipline(), "testdata/lockdiscipline/cache", "repro/internal/cache")
+}
+
 func TestLayeringGolden(t *testing.T) {
 	runGolden(t, Layering(), "testdata/layering", "repro/internal/sim")
 }
@@ -54,6 +61,7 @@ func TestAnalyzersScopedToTargetPackages(t *testing.T) {
 		dir string
 	}{
 		{LockDiscipline(), "testdata/lockdiscipline"},
+		{LockDiscipline(), "testdata/lockdiscipline/cache"},
 		{ClockInject(), "testdata/clockinject"},
 		{FrameCheck(), "testdata/framecheck"},
 		{NoAlloc(), "testdata/noalloc"},

@@ -57,6 +57,7 @@ var layerRank = map[string]int{
 	"repro/internal/regenerating":       0,
 	"repro/internal/analysis":           0,
 	"repro/internal/telemetry":          0,
+	"repro/internal/cache":              0,
 	"repro/internal/testutil/leakcheck": 0,
 	"repro/internal/matrix":             1,
 	"repro/internal/ec":                 1,

@@ -37,6 +37,14 @@ func (lockDiscipline) Doc() string {
 // lockTargetPath is the package the discipline applies to.
 const lockTargetPath = "repro/internal/hdfs"
 
+// cacheTargetPath is the block-cache package, which carries its own
+// confinement rule (see checkCacheFunc).
+const cacheTargetPath = "repro/internal/cache"
+
+// cacheShardType is the only receiver type allowed to touch a cache
+// shard's mutex.
+const cacheShardType = "shard"
+
 // lockRecvTypes are the receiver types whose mu is the metadata mutex.
 var lockRecvTypes = map[string]bool{"Cluster": true, "ShardedCluster": true}
 
@@ -56,7 +64,11 @@ var decodeCalls = map[string]bool{
 }
 
 func (a lockDiscipline) Check(pkg *Package) []Diagnostic {
-	if pkg.ImportPath != lockTargetPath {
+	switch pkg.ImportPath {
+	case lockTargetPath:
+	case cacheTargetPath:
+		return a.checkCachePkg(pkg)
+	default:
 		return nil
 	}
 	var diags []Diagnostic
@@ -77,6 +89,127 @@ func (a lockDiscipline) Check(pkg *Package) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// checkCachePkg applies the cache package's confinement rule: the
+// per-shard mutex is the cache's only lock, and every acquisition of
+// it lives inside a shard method — the hot Get/Put path stays
+// reasoned-about in one type, and the enclosing Cache can never
+// deadlock two shards by taking their locks in ad-hoc order. On top
+// of that, no codec/engine decode call may run under a shard lock:
+// the cache is consulted on every block read, and a decode under its
+// mutex would serialise the read path behind reconstruction exactly
+// as the hdfs metadata rule forbids.
+func (a lockDiscipline) checkCachePkg(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, recvType := recvInfo(fd)
+			diags = append(diags, a.checkCacheFunc(pkg, fd, recv, recvType)...)
+		}
+	}
+	return diags
+}
+
+// checkCacheFunc walks one cache-package function. Outside shard
+// methods any ".mu." lock operation is a finding; inside them the
+// hdfs-style scope replay flags decode calls made while the shard
+// mutex is held.
+func (a lockDiscipline) checkCacheFunc(pkg *Package, fd *ast.FuncDecl, recv, recvType string) []Diagnostic {
+	var diags []Diagnostic
+	inShard := recv != "" && recvType == cacheShardType
+	muLock := recv + ".mu.Lock"
+	muRLock := recv + ".mu.RLock"
+	muUnlock := recv + ".mu.Unlock"
+	muRUnlock := recv + ".mu.RUnlock"
+
+	scopes := map[token.Pos][]lockEvent{}
+	var scopeOf func(n ast.Node, scope token.Pos, inDefer bool)
+	scopeOf = func(root ast.Node, scope token.Pos, inDefer bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x.Pos() == scope {
+					return true
+				}
+				scopeOf(x, x.Pos(), false)
+				return false
+			case *ast.DeferStmt:
+				scopeOf(x.Call, scope, true)
+				return false
+			case *ast.CallExpr:
+				path := calleePath(x)
+				if !inShard && isMuAcquire(path) {
+					diags = append(diags, diag(pkg, a.Name(), x.Pos(),
+						"cache shard mutex operation %s outside a %s method: all shard locking is confined to %s receivers", path, cacheShardType, cacheShardType))
+					return true
+				}
+				switch path {
+				case muLock, muRLock:
+					if !inDefer {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 0, path})
+					}
+				case muUnlock, muRUnlock:
+					if !inDefer {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 1, path})
+					}
+				default:
+					if inShard && isMuAcquire(path) {
+						// A shard method touching any mutex but its own
+						// receiver's reopens the cross-shard deadlock the
+						// confinement exists to rule out.
+						diags = append(diags, diag(pkg, a.Name(), x.Pos(),
+							"%s method operates on a foreign mutex (%s): a shard touches only its own mu", cacheShardType, path))
+					} else if name := calleeName(x); decodeCalls[name] && !isBuiltinLike(x) {
+						scopes[scope] = append(scopes[scope], lockEvent{x.Pos(), 2, name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	scopeOf(fd.Body, fd.Body.Pos(), false)
+	if !inShard {
+		return diags
+	}
+	for _, events := range scopes {
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		depth := 0
+		for _, e := range events {
+			switch e.kind {
+			case 0:
+				depth++
+			case 1:
+				if depth > 0 {
+					depth--
+				}
+			case 2:
+				if depth > 0 {
+					diags = append(diags, diag(pkg, a.Name(), e.pos,
+						"%s called while holding a cache shard mutex: the read path's cache consult must never wait on reconstruction", e.name))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isMuAcquire reports a selector path that is a mutex lock or unlock
+// on a field named mu (x.mu.Lock, s.c.mu.RLock, ...).
+func isMuAcquire(path string) bool {
+	for _, suffix := range []string{".mu.Lock", ".mu.RLock", ".mu.Unlock", ".mu.RUnlock"} {
+		if len(path) >= len(suffix) && path[len(path)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
 }
 
 // lockEvent is one lock-relevant point in a function body, replayed in

@@ -1,0 +1,79 @@
+// Golden input for the lockdiscipline analyzer's cache-package rule:
+// a miniature sharded cache with the same lock vocabulary as
+// internal/cache. Shard-mutex operations are legal only inside shard
+// methods, a shard method may touch only its own mutex, and no decode
+// call runs while a shard mutex is held.
+package cache
+
+import "sync"
+
+type codec struct{}
+
+func (codec) Decode(shards [][]byte) error { return nil }
+
+type shard struct {
+	mu    sync.Mutex
+	peer  *shard
+	code  codec
+	items map[uint64][]byte
+}
+
+// get is the blessed shape: lock confined to the shard method, no
+// decode under it. No findings.
+func (s *shard) get(key uint64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[key]
+	return v, ok
+}
+
+// decodeUnderLock decodes while the shard mutex is held.
+func (s *shard) decodeUnderLock() {
+	s.mu.Lock()
+	s.code.Decode(nil) // want "Decode called while holding a cache shard mutex"
+	s.mu.Unlock()
+}
+
+// decodeUnderDeferredUnlock holds the lock to function exit.
+func (s *shard) decodeUnderDeferredUnlock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.code.Decode(nil) // want "Decode called while holding a cache shard mutex"
+}
+
+// decodeAfterUnlock releases first. No finding.
+func (s *shard) decodeAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.code.Decode(nil)
+}
+
+// foreignMutex reaches into another shard's lock from a shard method.
+func (s *shard) foreignMutex() {
+	s.peer.mu.Lock()   // want "foreign mutex"
+	s.peer.mu.Unlock() // want "foreign mutex"
+}
+
+type Cache struct {
+	shards []shard
+}
+
+// routeOnly is the blessed Cache shape: no locking at this level. No
+// findings.
+func (c *Cache) routeOnly(key uint64) ([]byte, bool) {
+	return c.shards[key%uint64(len(c.shards))].get(key)
+}
+
+// lockFromCache acquires a shard mutex outside any shard method.
+func (c *Cache) lockFromCache(key uint64) {
+	s := &c.shards[0]
+	s.mu.Lock()         // want "outside a shard method"
+	defer s.mu.Unlock() // want "outside a shard method"
+	_ = key
+}
+
+// lockFromFreeFunc does the same from a package-level function.
+func lockFromFreeFunc(s *shard) {
+	s.mu.Lock()   // want "outside a shard method"
+	s.mu.Unlock() // want "outside a shard method"
+}

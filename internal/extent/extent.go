@@ -104,6 +104,13 @@ type Options struct {
 	SegmentBytes int64
 	// MaxPayloadBytes bounds one record's payload (default 1 GiB).
 	MaxPayloadBytes int64
+	// CompactAfterDeadFraction, when > 0, arms automatic compaction:
+	// whenever an append seals a segment, the store compacts if dead
+	// bytes (overwritten records, tombstones and their victims) make up
+	// at least this fraction of the sealed segments' footprint. A
+	// delete-heavy store then bounds its own disk amplification without
+	// anyone calling Compact. 0 keeps compaction strictly manual.
+	CompactAfterDeadFraction float64
 	// Telemetry, when non-nil, receives the store's instruments:
 	// extent_appends_total, extent_scan_records_total,
 	// extent_torn_tails_total, extent_crc_failures_total,
@@ -292,6 +299,7 @@ func (s *Store) Put(id int64, data []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	before := s.active()
 	loc, err := s.appendLocked(magicPut, id, data, crc32.ChecksumIEEE(data))
 	if err != nil {
 		return err
@@ -300,6 +308,9 @@ func (s *Store) Put(id int64, data []byte) error {
 	s.index[id] = loc
 	s.live += loc.length
 	s.cAppends.Inc()
+	if err := s.maybeCompactLocked(before); err != nil {
+		return err
+	}
 	return s.maybeSyncLocked()
 }
 
@@ -314,12 +325,16 @@ func (s *Store) Delete(id int64) error {
 	if _, ok := s.index[id]; !ok {
 		return nil
 	}
+	before := s.active()
 	if _, err := s.appendLocked(magicDel, id, nil, 0); err != nil {
 		return err
 	}
 	s.dropIndexEntry(id)
 	s.active().garbage += headerLen // the tombstone itself
 	s.cAppends.Inc()
+	if err := s.maybeCompactLocked(before); err != nil {
+		return err
+	}
 	return s.maybeSyncLocked()
 }
 
@@ -515,6 +530,35 @@ func (s *Store) Compact() (CompactStats, error) {
 	if s.closed {
 		return CompactStats{}, ErrClosed
 	}
+	return s.compactLocked()
+}
+
+// maybeCompactLocked runs the auto-compaction policy after an append:
+// when the append sealed a segment (before is no longer the active
+// one) and dead bytes dominate the sealed footprint past the
+// configured fraction, compact. Checking only at seal time keeps the
+// policy O(segments) per segment, not per append, and guarantees
+// compaction never runs twice for the same sealed segment. Only
+// Put/Delete call it — compactLocked's own appends cannot re-enter.
+func (s *Store) maybeCompactLocked(before *segment) error {
+	frac := s.opts.CompactAfterDeadFraction
+	if frac <= 0 || s.active() == before {
+		return nil
+	}
+	sealed := s.segs[:len(s.segs)-1]
+	var disk, dead int64
+	for _, seg := range sealed {
+		disk += seg.size
+		dead += seg.garbage
+	}
+	if disk == 0 || float64(dead) < frac*float64(disk) {
+		return nil
+	}
+	_, err := s.compactLocked()
+	return err
+}
+
+func (s *Store) compactLocked() (CompactStats, error) {
 	victims := s.segs[:len(s.segs)-1]
 	if len(victims) == 0 {
 		return CompactStats{}, nil

@@ -351,3 +351,74 @@ func TestForeignFilesIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAutoCompactionOnDeadFraction: with CompactAfterDeadFraction
+// armed, a delete-heavy workload compacts itself — dead bytes in
+// sealed segments are reclaimed with no Compact call, live payloads
+// survive, and the garbage ratio stays bounded.
+func TestAutoCompactionOnDeadFraction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := openTest(t, t.TempDir(), Options{
+		SegmentBytes:             1024,
+		CompactAfterDeadFraction: 0.5,
+		Telemetry:                reg,
+	})
+	rng := rand.New(rand.NewSource(9))
+	want := make(map[int64][]byte)
+	// Churn: every round overwrites the same small id set, so almost
+	// every sealed byte is dead by the time the segment seals.
+	for round := 0; round < 40; round++ {
+		for i := int64(0); i < 4; i++ {
+			data := make([]byte, rng.Intn(200)+1)
+			rng.Read(data)
+			if err := s.Put(i, data); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = data
+		}
+		for i := int64(2); i < 4; i++ {
+			if err := s.Delete(i); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, i)
+		}
+	}
+	if got := reg.Snapshot().Counters["extent_compactions_total"]; got == 0 {
+		t.Fatalf("delete-heavy store never auto-compacted")
+	}
+	st := s.Stats()
+	if st.Segments > 3 {
+		t.Fatalf("auto-compaction left %d segments standing: %+v", st.Segments, st)
+	}
+	if st.DiskBytes > 0 && float64(st.GarbageBytes) > 0.9*float64(st.DiskBytes) {
+		t.Fatalf("garbage ratio unbounded after auto-compaction: %+v", st)
+	}
+	for id, data := range want {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get %d after auto-compaction: %v", id, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("block %d corrupted by auto-compaction", id)
+		}
+	}
+	// The policy survives a crash/reopen cycle: the rescanned store
+	// keeps compacting itself.
+	dir := s.opts.Dir
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, Options{
+		SegmentBytes:             1024,
+		CompactAfterDeadFraction: 0.5,
+	})
+	for id, data := range want {
+		got, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("Get %d after reopen: %v", id, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("block %d corrupted across reopen", id)
+		}
+	}
+}

@@ -317,6 +317,14 @@ type Config struct {
 	// RecoverMachine calls it again after CrashMachine to rebuild the
 	// node's index from durable state. Prefer WithStoreFactory(f).
 	StoreFactory func(machine int) (BlockStore, error)
+	// NodeCacheBytes, when positive, fronts every datanode's BlockStore
+	// with a sharded LRU read cache of this byte budget (per machine):
+	// hot-block reads skip the disk scan + CRC pass of a persistent
+	// store. The cache invalidates on overwrite, delete, scrubber
+	// eviction, corruption injection, and crash, and every hit is
+	// liveness-double-checked, so cached bytes can never go stale.
+	// Prefer WithNodeCacheBytes(n).
+	NodeCacheBytes int64
 }
 
 // Validate reports whether the configuration is usable.
@@ -462,9 +470,24 @@ func newDataNodes(cfg Config) ([]*dataNode, error) {
 	nodes := make([]*dataNode, cfg.Topology.Machines())
 	for i := range nodes {
 		n := &dataNode{id: i, alive: true, cCorruptReads: cCorrupt}
+		// The cache wraps whatever store the node gets — including the
+		// one a post-crash reopen rebuilds, so recovery comes back with
+		// a fresh, cold cache instead of the dead store's.
+		wrap := func(st BlockStore) BlockStore { return st }
+		if cfg.NodeCacheBytes > 0 {
+			wrap = func(st BlockStore) BlockStore {
+				return newCachedBlockStore(st, cfg.NodeCacheBytes, cfg.Telemetry)
+			}
+		}
 		if cfg.StoreFactory != nil {
 			machine := i
-			n.reopen = func() (BlockStore, error) { return cfg.StoreFactory(machine) }
+			n.reopen = func() (BlockStore, error) {
+				st, err := cfg.StoreFactory(machine)
+				if err != nil {
+					return nil, err
+				}
+				return wrap(st), nil
+			}
 			st, err := n.reopen()
 			if err != nil {
 				for _, prev := range nodes[:i] {
@@ -474,7 +497,7 @@ func newDataNodes(cfg Config) ([]*dataNode, error) {
 			}
 			n.store = st
 		} else {
-			n.store = newMemStore()
+			n.store = wrap(newMemStore())
 		}
 		nodes[i] = n
 	}

@@ -82,3 +82,10 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 func WithStoreFactory(f func(machine int) (BlockStore, error)) Option {
 	return func(c *Config) { c.StoreFactory = f }
 }
+
+// WithNodeCacheBytes fronts every datanode's BlockStore with a sharded
+// LRU read cache of n bytes per machine (see Config.NodeCacheBytes);
+// n <= 0 disables caching.
+func WithNodeCacheBytes(n int64) Option {
+	return func(c *Config) { c.NodeCacheBytes = n }
+}

@@ -1,0 +1,224 @@
+// The cache/hedge benchmark: a Zipf-skewed, read-heavy workload over a
+// cluster whose hottest machine is throttled — slow, not dead — run
+// twice per codec on identical configuration, hedging off then on.
+// Both runs keep the client and datanode caches hot, so the comparison
+// isolates exactly what the hedge engine buys: the tail (p99/p99.9) a
+// slow node inflicts when every read of its blocks must wait out the
+// throttle, versus reconstruction racing it. The cache hit ratio and
+// hedge win rate come along as the observables an operator would tune
+// against.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ec"
+)
+
+// Cachebench defaults, chosen so a localhost single-core run separates
+// signal from scheduler noise: the throttle is an order of magnitude
+// above the hedge delay, which is itself far above a healthy replica
+// RPC (microseconds).
+const (
+	defaultCacheBenchZipfS    = 1.01
+	defaultCacheBenchThrottle = 150 * time.Millisecond
+	defaultCacheBenchHedge    = 20 * time.Millisecond
+
+	// The working set must overflow the client cache or the bench
+	// measures nothing: with every block cached, no read ever reaches
+	// the throttled machine and the tail the hedge engine exists to cut
+	// never appears. 48 x 256KiB files against a 4MiB client cache keeps
+	// the Zipf head resident (hit ratio comfortably over the 0.5 gate)
+	// while the cold tail streams misses at the cluster — a few percent
+	// of which land on the slow machine and set the unhedged p99.
+	defaultCacheBenchFiles       = 48
+	defaultCacheBenchClientBytes = int64(4) << 20
+	defaultCacheBenchNodeBytes   = int64(8) << 20
+)
+
+// CacheComparison is one codec's unhedged-versus-hedged measurement on
+// the identical Zipf + slow-node workload.
+type CacheComparison struct {
+	Codec    string     `json:"codec"`
+	Unhedged LoadResult `json:"unhedged"`
+	Hedged   LoadResult `json:"hedged"`
+
+	// P99CutFraction is 1 - hedged/unhedged read p99 — the share of
+	// the slow node's tail the hedge engine removed (analogously
+	// P999CutFraction for p99.9).
+	P99CutFraction  float64 `json:"p99_cut_fraction"`
+	P999CutFraction float64 `json:"p99_9_cut_fraction"`
+}
+
+// CacheBenchReport is the machine-readable BENCH_cache.json payload.
+type CacheBenchReport struct {
+	Benchmark   string `json:"benchmark"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	Clients          int     `json:"clients"`
+	DurationSecs     float64 `json:"duration_secs"`
+	Files            int     `json:"files"`
+	FileBytes        int64   `json:"file_bytes"`
+	BlockBytes       int64   `json:"block_bytes"`
+	ZipfS            float64 `json:"zipf_s"`
+	ThrottleMillis   float64 `json:"throttle_ms"`
+	HedgeDelayMillis float64 `json:"hedge_delay_ms"`
+	ClientCacheBytes int64   `json:"client_cache_bytes"`
+	NodeCacheBytes   int64   `json:"node_cache_bytes"`
+
+	Codecs []CacheComparison `json:"codecs"`
+}
+
+// cacheBenchDefaults normalises a shared cachebench configuration on
+// top of benchDefaults: read-only Zipf workload, no kill, the hot
+// machine throttled, both cache tiers on.
+func cacheBenchDefaults(codecs []ec.Code, cfg LoadConfig) (LoadConfig, error) {
+	if cfg.Files <= 0 {
+		cfg.Files = defaultCacheBenchFiles
+	}
+	cfg, err := benchDefaults(codecs, cfg)
+	if err != nil {
+		return cfg, err
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = defaultCacheBenchZipfS
+	}
+	if cfg.ThrottleDelay <= 0 {
+		cfg.ThrottleDelay = defaultCacheBenchThrottle
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = defaultCacheBenchHedge
+	}
+	if cfg.ClientCacheBytes <= 0 {
+		cfg.ClientCacheBytes = defaultCacheBenchClientBytes
+	}
+	if cfg.NodeCacheBytes <= 0 {
+		cfg.NodeCacheBytes = defaultCacheBenchNodeBytes
+	}
+	// The victim must stay alive and slow for the whole run, and the
+	// workload must be pure reads — a write would dilute the read tail
+	// the bench exists to measure.
+	cfg.KillAfter = -1
+	cfg.WriteFraction = 0
+	return cfg, nil
+}
+
+// RunCacheBench measures each codec twice — hedging off, then on — on
+// one shared Zipf + throttled-node configuration.
+func RunCacheBench(codecs []ec.Code, cfg LoadConfig) (*CacheBenchReport, error) {
+	cfg, err := cacheBenchDefaults(codecs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := &CacheBenchReport{
+		Benchmark:        "serve-cache",
+		Seed:             cfg.Seed,
+		Clients:          cfg.Clients,
+		DurationSecs:     cfg.Duration.Seconds(),
+		Files:            cfg.Files,
+		FileBytes:        cfg.FileBytes,
+		BlockBytes:       cfg.BlockSize,
+		ZipfS:            cfg.ZipfS,
+		ThrottleMillis:   float64(cfg.ThrottleDelay) / 1e6,
+		HedgeDelayMillis: float64(cfg.HedgeDelay) / 1e6,
+		ClientCacheBytes: cfg.ClientCacheBytes,
+		NodeCacheBytes:   cfg.NodeCacheBytes,
+	}
+	for _, code := range codecs {
+		pair := CacheComparison{Codec: code.Name()}
+		for _, hedged := range []bool{false, true} {
+			runCfg := cfg
+			runCfg.Hedge = hedged
+			res, err := RunLoad(code, runCfg)
+			if err != nil {
+				return nil, fmt.Errorf("serve: cachebench under %s (hedged=%v): %w", code.Name(), hedged, err)
+			}
+			if hedged {
+				pair.Hedged = *res
+			} else {
+				pair.Unhedged = *res
+			}
+		}
+		if pair.Unhedged.ReadP99Millis > 0 {
+			pair.P99CutFraction = 1 - pair.Hedged.ReadP99Millis/pair.Unhedged.ReadP99Millis
+		}
+		if pair.Unhedged.ReadP999Millis > 0 {
+			pair.P999CutFraction = 1 - pair.Hedged.ReadP999Millis/pair.Unhedged.ReadP999Millis
+		}
+		report.Codecs = append(report.Codecs, pair)
+	}
+	return report, nil
+}
+
+// CheckErrors applies the zero-client-visible-errors gate to both runs
+// of every codec — a hedge or cache must never surface a wrong or
+// failed read.
+func (r *CacheBenchReport) CheckErrors() error {
+	for _, c := range r.Codecs {
+		for _, run := range []struct {
+			mode string
+			res  *LoadResult
+		}{{"unhedged", &c.Unhedged}, {"hedged", &c.Hedged}} {
+			if run.res.Errors > 0 {
+				return fmt.Errorf("serve: %s (%s): %d client-visible errors", c.Codec, run.mode, run.res.Errors)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEffective gates the bench on the caching tier actually earning
+// its keep: under the Zipf skew every run's client cache hit ratio
+// must clear minHitRatio, and every hedged run must have fired hedges,
+// won at least one race, and cut the read p99 versus its unhedged
+// twin.
+func (r *CacheBenchReport) CheckEffective(minHitRatio float64) error {
+	for _, c := range r.Codecs {
+		for _, run := range []struct {
+			mode string
+			res  *LoadResult
+		}{{"unhedged", &c.Unhedged}, {"hedged", &c.Hedged}} {
+			if run.res.CacheHitRatio < minHitRatio {
+				return fmt.Errorf("serve: %s (%s): cache hit ratio %.3f below %.3f", c.Codec, run.mode, run.res.CacheHitRatio, minHitRatio)
+			}
+		}
+		if c.Hedged.HedgedReads == 0 {
+			return fmt.Errorf("serve: %s: the throttled node never triggered a hedge", c.Codec)
+		}
+		if c.Hedged.HedgeWins == 0 {
+			return fmt.Errorf("serve: %s: reconstruction never beat the throttled primary", c.Codec)
+		}
+		if c.P99CutFraction <= 0 {
+			return fmt.Errorf("serve: %s: hedging did not cut read p99 (%.1fms -> %.1fms)",
+				c.Codec, c.Unhedged.ReadP99Millis, c.Hedged.ReadP99Millis)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report, pretty-printed, to path.
+func (r *CacheBenchReport) WriteJSON(path string) error { return writeJSON(path, r) }
+
+// FormatTable renders the per-codec comparison.
+func (r *CacheBenchReport) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-9s %8s %9s %9s %8s %7s %6s %7s\n",
+		"codec", "mode", "reads", "rd p99", "rd p99.9", "hit", "hedged", "wins", "errors")
+	for _, c := range r.Codecs {
+		for _, run := range []struct {
+			mode string
+			res  *LoadResult
+		}{{"plain", &c.Unhedged}, {"hedged", &c.Hedged}} {
+			res := run.res
+			fmt.Fprintf(&b, "%-22s %-9s %8d %7.1fms %7.1fms %7.1f%% %7d %6d %7d\n",
+				c.Codec, run.mode, res.Reads, res.ReadP99Millis, res.ReadP999Millis,
+				100*res.CacheHitRatio, res.HedgedReads, res.HedgeWins, res.Errors)
+		}
+		fmt.Fprintf(&b, "%-22s %-9s %8s %8.1f%% %8.1f%%  (p99 / p99.9 cut)\n",
+			"", "cut", "", 100*c.P99CutFraction, 100*c.P999CutFraction)
+	}
+	return b.String()
+}

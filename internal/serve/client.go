@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/ec"
 	"repro/internal/engine"
 	"repro/internal/hdfs"
@@ -123,11 +124,15 @@ func isCorruptReplicaErr(err error) bool {
 type Counters struct {
 	Reads                int64 // whole-file reads completed
 	Writes               int64 // whole-file writes completed
-	BlocksRead           int64 // block reads completed (healthy + degraded)
+	BlocksRead           int64 // block reads completed (healthy + degraded + cache hits)
 	DegradedBlocks       int64 // block reads served via reconstruction
 	PartialSumBlocks     int64 // degraded reads served by the partial-sum pipeline
 	DegradedBytesFetched int64 // bytes received at this client for reconstructions
 	CorruptReplicas      int64 // replica reads refused by a datanode's checksum verification
+	CacheHits            int64 // block reads served from the client block cache (WithBlockCache)
+	CacheMisses          int64 // block reads that consulted the cache and went to the network
+	HedgedReads          int64 // reads whose hedge timer fired a parallel reconstruction
+	HedgeWins            int64 // hedged reads where reconstruction beat the pending primary
 }
 
 // ClientOption configures a Client at dial time.
@@ -152,6 +157,29 @@ func WithTimeout(d time.Duration) ClientOption {
 		if d > 0 {
 			c.timeout = d
 		}
+	}
+}
+
+// WithBlockCache gives the client a sharded LRU block cache of n
+// bytes: block reads consult it before any RPC and fill it on every
+// successful read — healthy, degraded, and partial-sum alike. Keys are
+// block ids, which is sound because stored blocks are immutable
+// (rewrites allocate fresh ids); n <= 0 leaves caching off.
+func WithBlockCache(n int64) ClientOption {
+	return func(c *Client) { c.blockCache = cache.New(n, cache.DefaultShards) }
+}
+
+// WithHedgedReads arms hedged degraded reads for striped blocks: when
+// the replica chain hasn't answered within delay, the client launches
+// a stripe reconstruction in parallel and returns whichever path
+// finishes first (Counters.HedgedReads / HedgeWins count the races and
+// the reconstruction wins). delay <= 0 derives the delay adaptively
+// from the client's observed latency quantiles — a multiple of the
+// recent p95, so hedges fire on outliers, not jitter.
+func WithHedgedReads(delay time.Duration) ClientOption {
+	return func(c *Client) {
+		c.hedge = true
+		c.hedgeDelay = delay
 	}
 }
 
@@ -185,7 +213,15 @@ type Client struct {
 	addrs   []string // machine id → datanode address ("" = down)
 	perRack int      // machines per rack, from the handshake
 
-	rr atomic.Uint64 // replica rotation
+	rr atomic.Uint64 // rotation among latency-tied replicas
+
+	// Read-path accelerators: the optional block cache (nil = off), the
+	// always-on per-datanode latency tracker feeding replica ordering,
+	// and the hedged-read arm.
+	blockCache *cache.Cache
+	lat        *latencyTracker
+	hedge      bool
+	hedgeDelay time.Duration // <= 0: adaptive (see hedgeDelayNow)
 
 	// Operation counters live on a per-client registry, so Counters()
 	// reads and the hot paths that bump them are both atomic — no
@@ -199,6 +235,10 @@ type Client struct {
 	cPartialBlocks  *telemetry.Counter
 	cDegradedBytes  *telemetry.Counter
 	cCorruptReps    *telemetry.Counter
+	cCacheHits      *telemetry.Counter
+	cCacheMisses    *telemetry.Counter
+	cHedgedReads    *telemetry.Counter
+	cHedgeWins      *telemetry.Counter
 
 	// Trace sampling state (WithTraceSampling): every Nth degraded
 	// read propagates a trace context and records a client root span.
@@ -218,6 +258,7 @@ func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) 
 		timeout:  defaultTimeout,
 		dns:      make(map[string]*conn),
 		reg:      telemetry.NewRegistry(),
+		lat:      newLatencyTracker(),
 	}
 	c.cReads = c.reg.Counter("client_reads_total")
 	c.cWrites = c.reg.Counter("client_writes_total")
@@ -226,6 +267,10 @@ func Dial(nameAddr string, code ec.Code, opts ...ClientOption) (*Client, error) 
 	c.cPartialBlocks = c.reg.Counter("client_partialsum_blocks_total")
 	c.cDegradedBytes = c.reg.Counter("client_degraded_bytes_total")
 	c.cCorruptReps = c.reg.Counter("client_corrupt_replicas_total")
+	c.cCacheHits = c.reg.Counter("client_cache_hits_total")
+	c.cCacheMisses = c.reg.Counter("client_cache_misses_total")
+	c.cHedgedReads = c.reg.Counter("client_hedged_reads_total")
+	c.cHedgeWins = c.reg.Counter("client_hedge_wins_total")
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -256,6 +301,10 @@ func (c *Client) Counters() Counters {
 		PartialSumBlocks:     c.cPartialBlocks.Value(),
 		DegradedBytesFetched: c.cDegradedBytes.Value(),
 		CorruptReplicas:      c.cCorruptReps.Value(),
+		CacheHits:            c.cCacheHits.Value(),
+		CacheMisses:          c.cCacheMisses.Value(),
+		HedgedReads:          c.cHedgedReads.Value(),
+		HedgeWins:            c.cHedgeWins.Value(),
 	}
 }
 
@@ -384,9 +433,16 @@ func (c *Client) dnCallFull(machine int, req *request, timeout time.Duration) (*
 		}
 		c.mu.Unlock()
 	}
+	start := time.Now()
 	resp, out, err := cn.call(req, nil, timeout)
 	if err != nil {
 		if _, remote := err.(*RemoteError); !remote {
+			// A transport failure took this long to surface — that IS
+			// the machine's observed latency; feeding it deprioritises
+			// the node for subsequent reads. Remote errors are excluded:
+			// a datanode refusing a corrupt replica answers fast, and
+			// that speed says nothing about serving real payloads.
+			c.lat.observe(machine, time.Since(start))
 			c.mu.Lock()
 			if c.dns[addr] == cn {
 				delete(c.dns, addr)
@@ -396,6 +452,7 @@ func (c *Client) dnCallFull(machine int, req *request, timeout time.Duration) (*
 		}
 		return nil, nil, err
 	}
+	c.lat.observe(machine, time.Since(start))
 	return resp, out, nil
 }
 
@@ -623,9 +680,27 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 	return out, nil
 }
 
+// cacheFill records a successfully read block in the client cache
+// (no-op without WithBlockCache). Every fill is a full block keyed by
+// its immutable id, so a hit can be returned without consulting
+// metadata.
+func (c *Client) cacheFill(b wireBlock, data []byte) {
+	c.blockCache.Put(uint64(b.ID), data)
+}
+
 // readBlock reads one block, retrying with refreshed metadata when
-// replicas or helpers die mid-flight.
+// replicas or helpers die mid-flight. The block cache is consulted
+// before any RPC; every successful read — healthy, hedged, degraded —
+// fills it.
 func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) {
+	if c.blockCache != nil {
+		if data, ok := c.blockCache.Get(uint64(b.ID)); ok {
+			c.cCacheHits.Inc()
+			c.cBlocksRead.Inc()
+			return data, nil
+		}
+		c.cCacheMisses.Inc()
+	}
 	var lastErr error
 	for attempt := 0; attempt < readAttempts; attempt++ {
 		if attempt > 0 {
@@ -644,17 +719,33 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 			b = blocks[index]
 		}
 
-		// Healthy path: rotate across live replicas. A replica the
+		// Hedged path: race the replica chain against a delayed stripe
+		// reconstruction (see hedge.go). It subsumes both branches
+		// below — whichever arm wins carries the bytes.
+		if c.hedge && b.Stripe >= 0 && len(b.Locations) > 0 {
+			data, degraded, err := c.hedgedRead(b)
+			if err == nil {
+				c.cBlocksRead.Inc()
+				if degraded {
+					c.cDegradedBlocks.Inc()
+				}
+				c.cacheFill(b, data)
+				return data, nil
+			}
+			lastErr = err
+			continue
+		}
+
+		// Healthy path: walk live replicas fastest-first. A replica the
 		// datanode refuses on checksum grounds is as gone as one on a
-		// dead machine — count it and keep rotating; the stripe fallback
+		// dead machine — count it and keep going; the stripe fallback
 		// below reconstructs around it.
-		if n := len(b.Locations); n > 0 {
-			start := int(c.rr.Add(1)) % n
-			for i := 0; i < n; i++ {
-				m := b.Locations[(start+i)%n]
+		if len(b.Locations) > 0 {
+			for _, m := range c.replicaOrder(b.Locations) {
 				data, err := c.dnRead(m, b.ID, 0, b.Size, nil)
 				if err == nil {
 					c.cBlocksRead.Inc()
+					c.cacheFill(b, data)
 					return data, nil
 				}
 				if isCorruptReplicaErr(err) {
@@ -670,6 +761,7 @@ func (c *Client) readBlock(name string, index int, b wireBlock) ([]byte, error) 
 			if err == nil {
 				c.cBlocksRead.Inc()
 				c.cDegradedBlocks.Inc()
+				c.cacheFill(b, data)
 				return data, nil
 			}
 			lastErr = err
@@ -769,14 +861,11 @@ func (c *Client) degradedReadTraced(b wireBlock, tc *telemetry.TraceContext, fet
 		if p.Block < 0 {
 			return make([]byte, req.Length), nil
 		}
-		n := len(p.Locations)
-		if n == 0 {
+		if len(p.Locations) == 0 {
 			return nil, fmt.Errorf("serve: stripe %d position %d has no live holder", b.Stripe, req.Shard)
 		}
-		start := int(c.rr.Add(1)) % n
 		var lastErr error
-		for i := 0; i < n; i++ {
-			m := p.Locations[(start+i)%n]
+		for _, m := range c.replicaOrder(p.Locations) {
 			buf, err := c.dnRead(m, p.Block, req.Offset, req.Length, tc)
 			if err == nil {
 				c.cDegradedBytes.Add(req.Length)
@@ -830,13 +919,7 @@ func (c *Client) partialDegradedRead(b wireBlock, st *wireStripe, alive ec.Alive
 		if p.Block < 0 {
 			continue
 		}
-		n := len(p.Locations)
-		if n == 0 {
-			continue
-		}
-		start := int(c.rr.Add(1)) % n
-		for i := 0; i < n; i++ {
-			m := p.Locations[(start+i)%n]
+		for _, m := range c.replicaOrder(p.Locations) {
 			if m >= 0 && m < len(addrs) && addrs[m] != "" {
 				holder[pos] = m
 				break

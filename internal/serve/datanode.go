@@ -20,6 +20,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gf256"
@@ -33,6 +34,13 @@ type DataNode struct {
 	machine int
 	srv     *server
 	tele    *nodeTelemetry
+
+	// throttle (nanoseconds) delays every data-path RPC — dn.read and
+	// dn.partial — before it touches the store: the injected shape of a
+	// slow-but-alive machine (overloaded disk, congested uplink).
+	// Heartbeats and pings stay prompt, so a throttled machine is never
+	// mistaken for a dead one; only its data service degrades.
+	throttle atomic.Int64
 
 	// Partial-sum fold instruments (nil when uninstrumented): folds
 	// executed by this daemon and local multiply-accumulate terms
@@ -69,9 +77,27 @@ func (d *DataNode) Addr() string { return d.srv.addr() }
 // Machine returns the machine index the daemon serves.
 func (d *DataNode) Machine() int { return d.machine }
 
+// setThrottle installs (or with 0 clears) the daemon's data-path
+// delay.
+func (d *DataNode) setThrottle(delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	d.throttle.Store(int64(delay))
+}
+
+// dataDelay sleeps the configured throttle before a data-path RPC is
+// served.
+func (d *DataNode) dataDelay() {
+	if delay := d.throttle.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+}
+
 func (d *DataNode) handle(req *request, _ []byte) (*response, []byte) {
 	switch req.Method {
 	case methodDNRead:
+		d.dataDelay()
 		buf, err := d.cluster.NodeReadRange(d.machine, hdfs.BlockID(req.Block), req.Offset, req.Length)
 		if err != nil {
 			return errResponse(err), nil
@@ -83,6 +109,7 @@ func (d *DataNode) handle(req *request, _ []byte) (*response, []byte) {
 		}
 		return okResponse(), nil
 	case methodDNPartial:
+		d.dataDelay()
 		buf, err := d.partial(req)
 		if err != nil {
 			return errResponse(err), nil

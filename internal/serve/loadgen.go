@@ -73,6 +73,28 @@ type LoadConfig struct {
 	// Seed drives placement, content, and the operation mix.
 	Seed int64
 
+	// ZipfS skews read popularity: > 1 draws the working-set file per
+	// read from a Zipf(s) distribution with files[0] hottest — the
+	// hot-data access shape a cache tier exists for. 0 (or <= 1) keeps
+	// the uniform pick. Prefer WithLoadZipf(s).
+	ZipfS float64
+	// ThrottleDelay, when > 0, throttles the machine holding the first
+	// preloaded file's first data block by this much per data RPC for
+	// the whole run — a slow-but-alive node instead of (or as well as)
+	// the kill. Prefer WithLoadThrottle(d).
+	ThrottleDelay time.Duration
+	// ClientCacheBytes gives every worker's client a block cache of
+	// this budget (WithBlockCache). Prefer WithLoadClientCache(n).
+	ClientCacheBytes int64
+	// NodeCacheBytes fronts every datanode's store with a read cache of
+	// this budget (hdfs.Config.NodeCacheBytes). Prefer
+	// WithLoadNodeCache(n).
+	NodeCacheBytes int64
+	// Hedge arms hedged degraded reads on every worker's client with
+	// HedgeDelay (<= 0 = adaptive). Prefer WithLoadHedge(d).
+	Hedge      bool
+	HedgeDelay time.Duration
+
 	// normalized marks a config that already passed withDefaults, so
 	// sentinel values (negative WriteFraction) are not re-defaulted.
 	normalized bool
@@ -149,8 +171,25 @@ type LoadResult struct {
 
 	ReadP50Millis  float64 `json:"read_p50_ms"`
 	ReadP99Millis  float64 `json:"read_p99_ms"`
+	ReadP999Millis float64 `json:"read_p99_9_ms"`
 	WriteP50Millis float64 `json:"write_p50_ms"`
 	WriteP99Millis float64 `json:"write_p99_ms"`
+
+	// Cache-tier and hedge observables (zero unless the run enabled
+	// them). CacheHitRatio is hits/(hits+misses) across every worker's
+	// client cache; HedgeWinRate is HedgeWins/HedgedReads. NodeCacheHits
+	// and NodeCacheMisses are server-side (MetricsDump runs only — they
+	// come off the system registry).
+	CacheHits      int64   `json:"cache_hits,omitempty"`
+	CacheMisses    int64   `json:"cache_misses,omitempty"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio,omitempty"`
+	HedgedReads    int64   `json:"hedged_reads,omitempty"`
+	HedgeWins      int64   `json:"hedge_wins,omitempty"`
+	HedgeWinRate   float64 `json:"hedge_win_rate,omitempty"`
+	NodeCacheHits  int64   `json:"node_cache_hits,omitempty"`
+	NodeCacheMiss  int64   `json:"node_cache_misses,omitempty"`
+	ThrottledNode  int     `json:"throttled_node"` // -1 when no throttle ran
+	ThrottleMillis float64 `json:"throttle_ms,omitempty"`
 
 	OpsPerSec          float64 `json:"ops_per_sec"`
 	ThroughputMBPerSec float64 `json:"throughput_mb_per_sec"`
@@ -190,6 +229,9 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	if cfg.MetricsDump {
 		sysOpts = append(sysOpts, WithTelemetry(TelemetryConfig{}))
 	}
+	if cfg.NodeCacheBytes > 0 {
+		sysOpts = append(sysOpts, WithDataNodeCache(cfg.NodeCacheBytes))
+	}
 	sys, err := Start(hdfs.Config{
 		Topology:         cluster.Topology{Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack},
 		Code:             code,
@@ -207,6 +249,12 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	var clientOpts []ClientOption
 	if cfg.PartialSumRepair {
 		clientOpts = append(clientOpts, WithPartialSumRepair())
+	}
+	if cfg.ClientCacheBytes > 0 {
+		clientOpts = append(clientOpts, WithBlockCache(cfg.ClientCacheBytes))
+	}
+	if cfg.Hedge {
+		clientOpts = append(clientOpts, WithHedgedReads(cfg.HedgeDelay))
 	}
 
 	// Preload and raid the working set.
@@ -231,9 +279,13 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		}
 	}
 
-	// Victim selection: the single holder of preload-0's first block.
+	// Victim selection: the single holder of preload-0's first block —
+	// the machine every Zipf-hot read wants — shared by the kill and
+	// the throttle (a cachebench run throttles instead of killing, so
+	// the two never race on one machine in practice).
 	victim := -1
-	if cfg.KillAfter > 0 && cfg.KillAfter < cfg.Duration {
+	killArmed := cfg.KillAfter > 0 && cfg.KillAfter < cfg.Duration
+	if killArmed || cfg.ThrottleDelay > 0 {
 		_, blocks, err := sys.Cluster().FileBlocks(files[0])
 		if err != nil {
 			return nil, err
@@ -241,6 +293,16 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		if len(blocks) > 0 && len(blocks[0].Locations) > 0 {
 			victim = blocks[0].Locations[0]
 		}
+	}
+	throttled := -1
+	if cfg.ThrottleDelay > 0 && victim >= 0 {
+		// The slow node is slow from the first operation: every worker's
+		// latency tracker and hedge engine sees the same cluster for the
+		// whole measured window.
+		if err := sys.ThrottleDataNode(victim, cfg.ThrottleDelay); err != nil {
+			return nil, err
+		}
+		throttled = victim
 	}
 
 	type workerStats struct {
@@ -259,7 +321,7 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	// KillDataNode) must not report a kill that never happened.
 	var killTimer *time.Timer
 	var killed atomic.Bool
-	if victim >= 0 {
+	if killArmed && victim >= 0 {
 		killTimer = time.AfterFunc(cfg.KillAfter, func() {
 			if err := sys.KillDataNode(victim); err == nil {
 				killed.Store(true)
@@ -282,6 +344,13 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 			// One payload per worker: written files are never read
 			// back, so their content need not vary per write.
 			wdata := fileContent(cfg.Seed+int64(w), "writer", cfg.FileBytes)
+			// Zipf popularity: index 0 is drawn most often, so
+			// files[0] — whose first block sits on the victim — is the
+			// hottest key in the working set.
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 && len(files) > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(files)-1))
+			}
 			seq := 0
 			for time.Now().Before(deadline) {
 				if rng.Float64() < cfg.WriteFraction {
@@ -298,6 +367,9 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 					continue
 				}
 				name := files[rng.Intn(len(files))]
+				if zipf != nil {
+					name = files[zipf.Uint64()]
+				}
 				t0 := time.Now()
 				data, err := cl.ReadFile(name)
 				if err != nil {
@@ -327,6 +399,10 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		PartialSumRepair: cfg.PartialSumRepair,
 		Killed:           killed.Load(),
 		KilledMachine:    -1,
+		ThrottledNode:    throttled,
+	}
+	if throttled >= 0 {
+		res.ThrottleMillis = float64(cfg.ThrottleDelay) / 1e6
 	}
 	if res.Killed {
 		res.KillAfterSecs = cfg.KillAfter.Seconds()
@@ -346,6 +422,10 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 		res.DegradedBlocks += ws.counters.DegradedBlocks
 		res.PartialSumBlocks += ws.counters.PartialSumBlocks
 		res.DegradedBytesFetched += ws.counters.DegradedBytesFetched
+		res.CacheHits += ws.counters.CacheHits
+		res.CacheMisses += ws.counters.CacheMisses
+		res.HedgedReads += ws.counters.HedgedReads
+		res.HedgeWins += ws.counters.HedgeWins
 	}
 	if res.BlocksRead > 0 {
 		res.DegradedShare = float64(res.DegradedBlocks) / float64(res.BlocksRead)
@@ -353,8 +433,15 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	if res.DegradedBlocks > 0 {
 		res.DegradedBytesPerBlock = float64(res.DegradedBytesFetched) / float64(res.DegradedBlocks)
 	}
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitRatio = float64(res.CacheHits) / float64(lookups)
+	}
+	if res.HedgedReads > 0 {
+		res.HedgeWinRate = float64(res.HedgeWins) / float64(res.HedgedReads)
+	}
 	res.ReadP50Millis = stats.Percentile(readMs, 50)
 	res.ReadP99Millis = stats.Percentile(readMs, 99)
+	res.ReadP999Millis = stats.Percentile(readMs, 99.9)
 	res.WriteP50Millis = stats.Percentile(writeMs, 50)
 	res.WriteP99Millis = stats.Percentile(writeMs, 99)
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -364,6 +451,8 @@ func RunLoad(code ec.Code, cfg LoadConfig, opts ...LoadOption) (*LoadResult, err
 	if reg := sys.Telemetry(); reg != nil {
 		snap := reg.Snapshot()
 		res.Metrics = &snap
+		res.NodeCacheHits = snap.Counters["hdfs_node_cache_hits_total"]
+		res.NodeCacheMiss = snap.Counters["hdfs_node_cache_misses_total"]
 	}
 	return res, nil
 }

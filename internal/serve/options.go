@@ -58,6 +58,40 @@ func WithLoadMetricsDump() LoadOption {
 	return func(c *LoadConfig) { c.MetricsDump = true }
 }
 
+// WithLoadZipf skews read popularity by a Zipf(s) draw over the
+// working set (s > 1; files[0] hottest). See LoadConfig.ZipfS.
+func WithLoadZipf(s float64) LoadOption {
+	return func(c *LoadConfig) { c.ZipfS = s }
+}
+
+// WithLoadThrottle throttles the machine holding the hottest file's
+// first block by d per data RPC for the whole run — the slow-but-alive
+// failure mode, as opposed to WithLoadKillAfter's death.
+func WithLoadThrottle(d time.Duration) LoadOption {
+	return func(c *LoadConfig) { c.ThrottleDelay = d }
+}
+
+// WithLoadClientCache gives every worker's client a block cache of n
+// bytes (see WithBlockCache).
+func WithLoadClientCache(n int64) LoadOption {
+	return func(c *LoadConfig) { c.ClientCacheBytes = n }
+}
+
+// WithLoadNodeCache fronts every datanode's store with an n-byte read
+// cache (see hdfs.WithNodeCacheBytes).
+func WithLoadNodeCache(n int64) LoadOption {
+	return func(c *LoadConfig) { c.NodeCacheBytes = n }
+}
+
+// WithLoadHedge arms hedged degraded reads on every worker's client
+// with the given delay (<= 0 = adaptive; see WithHedgedReads).
+func WithLoadHedge(delay time.Duration) LoadOption {
+	return func(c *LoadConfig) {
+		c.Hedge = true
+		c.HedgeDelay = delay
+	}
+}
+
 // RepairMgrBenchOption mutates a RepairMgrBenchConfig before
 // defaulting.
 type RepairMgrBenchOption func(*RepairMgrBenchConfig)

@@ -26,11 +26,12 @@ import (
 type Option func(*sysOptions)
 
 type sysOptions struct {
-	mgrCfg     *repairmgr.Config
-	hbInterval time.Duration
-	teleCfg    *TelemetryConfig
-	dataDir    string
-	fsync      extent.FsyncPolicy
+	mgrCfg         *repairmgr.Config
+	hbInterval     time.Duration
+	teleCfg        *TelemetryConfig
+	dataDir        string
+	fsync          extent.FsyncPolicy
+	nodeCacheBytes int64
 }
 
 // WithRepairManager runs the autonomous repair control plane inside
@@ -65,6 +66,14 @@ func WithDataDir(dir string) Option {
 // FsyncInterval). Only meaningful together with WithDataDir.
 func WithFsyncPolicy(p extent.FsyncPolicy) Option {
 	return func(o *sysOptions) { o.fsync = p }
+}
+
+// WithDataNodeCache fronts every machine's block store with a sharded
+// LRU read cache of n bytes (hdfs.Config.NodeCacheBytes): hot replica
+// reads answer from memory instead of a store pass. Most useful
+// together with WithDataDir, where a miss is a real disk read.
+func WithDataNodeCache(n int64) Option {
+	return func(o *sysOptions) { o.nodeCacheBytes = n }
 }
 
 // WithTelemetry instruments the whole system on one shared metrics
@@ -122,6 +131,9 @@ func Start(cfg hdfs.Config, opts ...Option) (*System, error) {
 			Fsync:     o.fsync,
 			Telemetry: s.reg,
 		})
+	}
+	if o.nodeCacheBytes > 0 {
+		cfg.NodeCacheBytes = o.nodeCacheBytes
 	}
 	cluster, err := hdfs.Open(cfg)
 	if err != nil {
@@ -311,6 +323,26 @@ func (s *System) restartDataNode(machine int) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// ThrottleDataNode delays every data-path RPC (dn.read, dn.partial)
+// on the machine's daemon by delay — the injected shape of a machine
+// that is slow but alive. Heartbeats keep flowing, so the failure
+// detector never confuses the slowdown with a death; clients see it
+// purely as latency. delay 0 clears the throttle; a restart also
+// clears it (the fresh daemon starts unthrottled).
+func (s *System) ThrottleDataNode(machine int, delay time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if machine < 0 || machine >= len(s.dns) {
+		return fmt.Errorf("serve: no machine %d", machine)
+	}
+	dn := s.dns[machine]
+	if dn == nil {
+		return fmt.Errorf("serve: machine %d daemon is down", machine)
+	}
+	dn.setThrottle(delay)
 	return nil
 }
 

@@ -76,6 +76,28 @@ func WithLoadPartialSumRepair() LoadOption { return serve.WithLoadPartialSumRepa
 // disables).
 func WithLoadKillAfter(d time.Duration) LoadOption { return serve.WithLoadKillAfter(d) }
 
+// WithLoadZipf skews read popularity by a Zipf(s) draw over the
+// working set (s > 1; the first preloaded file is hottest).
+func WithLoadZipf(s float64) LoadOption { return serve.WithLoadZipf(s) }
+
+// WithLoadThrottle throttles the machine holding the hottest file's
+// first block by d per data RPC for the whole run — the slow-but-alive
+// failure mode, as opposed to WithLoadKillAfter's death.
+func WithLoadThrottle(d time.Duration) LoadOption { return serve.WithLoadThrottle(d) }
+
+// WithLoadClientCache gives every worker's client a block cache of n
+// bytes (see WithBlockCache).
+func WithLoadClientCache(n int64) LoadOption { return serve.WithLoadClientCache(n) }
+
+// WithLoadNodeCache fronts every datanode's store with an n-byte read
+// cache.
+func WithLoadNodeCache(n int64) LoadOption { return serve.WithLoadNodeCache(n) }
+
+// WithLoadHedge arms hedged degraded reads on every worker's client
+// with the given delay (<= 0 = adaptive, from the observed latency
+// quantiles).
+func WithLoadHedge(delay time.Duration) LoadOption { return serve.WithLoadHedge(delay) }
+
 // StartServeSystem builds the storage cluster and brings up its
 // namenode and datanode daemons (plus, with WithRepairManager, the
 // repair control plane). Close the system to release the listeners.
@@ -124,6 +146,38 @@ type ServePartialSumBenchReport = serve.PartialSumBenchReport
 // degraded reads, then partial-sum — on one shared configuration.
 func RunServePartialSumBench(codecs []Codec, cfg LoadConfig) (*ServePartialSumBenchReport, error) {
 	return serve.RunPartialSumBench(codecs, cfg)
+}
+
+// --- Caching & hedged reads --------------------------------------------
+
+// WithBlockCache gives a client an in-process block cache of n bytes:
+// repeat reads of hot blocks are served from memory without touching
+// the cluster, and degraded reconstructions are remembered so the
+// stripe is not re-decoded on every read of a lost block.
+func WithBlockCache(n int64) ServeClientOption { return serve.WithBlockCache(n) }
+
+// WithHedgedReads arms a client's hedged degraded reads: when the
+// replica chain is slower than the hedge delay, reconstruction starts
+// speculatively and the first arm to finish wins. delay <= 0 derives
+// the delay adaptively from observed per-datanode latency quantiles.
+func WithHedgedReads(delay time.Duration) ServeClientOption { return serve.WithHedgedReads(delay) }
+
+// WithDataNodeCache fronts every datanode's block store with an n-byte
+// read cache; hits skip the store (and its disk, under the extent
+// store) entirely.
+func WithDataNodeCache(n int64) ServeOption { return serve.WithDataNodeCache(n) }
+
+// ServeCacheBenchReport is the machine-readable BENCH_cache.json
+// payload: per codec, the identical Zipf + throttled-node workload
+// served with hedging off and on, with cache hit ratios, hedge
+// win rates, and the p99/p99.9 tail cut.
+type ServeCacheBenchReport = serve.CacheBenchReport
+
+// RunServeCacheBench runs each codec's Zipf + slow-node load twice —
+// hedging off, then on — on one shared configuration with both cache
+// tiers enabled.
+func RunServeCacheBench(codecs []Codec, cfg LoadConfig) (*ServeCacheBenchReport, error) {
+	return serve.RunCacheBench(codecs, cfg)
 }
 
 // --- Telemetry ---------------------------------------------------------
